@@ -1,0 +1,88 @@
+// Ablation: the tuning interval.
+//
+// Paper §5.1: "we use two minutes as the load placement tuning interval ...
+// in order to avoid over-tuning while still providing responsiveness. It is
+// possible to update load placement at any time scale." This sweep makes
+// the tradeoff concrete: very short intervals react to burst noise (more
+// movement, little latency gain — with few samples per interval the
+// latency estimate is noisy); very long intervals leave imbalance standing
+// (slow convergence from the blind start).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "driver/balancer_factory.h"
+#include "driver/paper.h"
+#include "driver/sweep.h"
+
+using namespace anu;
+using namespace anu::driver;
+
+int main() {
+  std::printf("Tuning-interval ablation (paper section 5.1: two minutes)\n");
+
+  const auto workload = paper_synthetic_workload();
+  const std::vector<double> intervals{15.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+                                      1200.0};
+
+  const std::function<ExperimentResult(std::size_t)> job =
+      [&](std::size_t i) {
+        auto config = paper_experiment_config();
+        config.tuning_interval = intervals[i];
+        SystemConfig system;
+        system.kind = SystemKind::kAnu;
+        auto balancer =
+            make_balancer(system, config.cluster.server_speeds.size());
+        return run_experiment(config, workload, *balancer);
+      };
+  const auto results = parallel_map<ExperimentResult>(intervals.size(), job);
+
+  Table table({"interval_s", "rounds", "mean_latency", "steady_mean",
+               "filesets_moved", "moves_per_hour"});
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const auto& r = results[i];
+    const double hours = r.horizon / 3600.0;
+    table.add_row({format_double(intervals[i], 0),
+                   std::to_string(r.tuning_rounds),
+                   format_double(r.aggregate.mean(), 3),
+                   format_double(r.steady_state.mean(), 3),
+                   std::to_string(r.total_moved),
+                   format_double(static_cast<double>(r.total_moved) / hours,
+                                 1)});
+  }
+  bench::section("latency and movement vs tuning interval");
+  table.print(std::cout);
+
+  // --- control-plane pipeline latency at the default interval ------------
+  const std::vector<double> delays{0.0, 1.0, 5.0, 15.0, 60.0};
+  const std::function<ExperimentResult(std::size_t)> delay_job =
+      [&](std::size_t i) {
+        auto config = paper_experiment_config();
+        config.control_delay = delays[i];
+        SystemConfig system;
+        system.kind = SystemKind::kAnu;
+        auto balancer =
+            make_balancer(system, config.cluster.server_speeds.size());
+        return run_experiment(config, workload, *balancer);
+      };
+  const auto delay_results =
+      parallel_map<ExperimentResult>(delays.size(), delay_job);
+  Table delay_table({"control_delay_s", "mean_latency", "steady_mean",
+                     "filesets_moved"});
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const auto& r = delay_results[i];
+    delay_table.add_row({format_double(delays[i], 0),
+                         format_double(r.aggregate.mean(), 3),
+                         format_double(r.steady_state.mean(), 3),
+                         std::to_string(r.total_moved)});
+  }
+  bench::section("latency vs control-plane pipeline delay (120 s interval)");
+  delay_table.print(std::cout);
+
+  bench::note("\nReading guide: the sweet spot sits near the paper's two");
+  bench::note("minutes — short intervals buy little latency for much more");
+  bench::note("movement (over-tuning on burst noise); long intervals leave");
+  bench::note("the blind start uncorrected for tens of minutes. Control-");
+  bench::note("plane delay only matters once it rivals the interval itself.");
+  return 0;
+}

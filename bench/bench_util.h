@@ -1,0 +1,55 @@
+// Shared output helpers for the figure harnesses.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "driver/experiment.h"
+
+namespace anu::bench {
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+/// Prints a latency-over-time table: one row per window, one column per
+/// server (the layout of the paper's Figs. 4 and 5, one panel per system).
+inline void print_latency_series(const driver::ExperimentResult& result,
+                                 const std::string& system) {
+  std::vector<std::string> headers{"minute"};
+  for (std::size_t s = 0; s < result.server_count; ++s) {
+    headers.push_back("s" + std::to_string(s) + "_latency");
+  }
+  Table table(std::move(headers));
+  const std::size_t windows = result.latency_over_time.empty()
+                                  ? 0
+                                  : result.latency_over_time[0].size();
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<double> row;
+    row.push_back(result.latency_over_time[0][w].time / 60.0);
+    for (std::size_t s = 0; s < result.server_count; ++s) {
+      row.push_back(result.latency_over_time[s][w].value);
+    }
+    table.add_numeric_row(row, 3);
+  }
+  section(system + ": per-server latency over time (s)");
+  table.print(std::cout);
+}
+
+/// One summary row per system (used by several harnesses).
+inline std::vector<double> summary_row(
+    const driver::ExperimentResult& result) {
+  return {result.aggregate.mean(),       result.aggregate.stddev(),
+          result.steady_state.mean(),    result.steady_state.stddev(),
+          static_cast<double>(result.total_moved),
+          static_cast<double>(result.shared_state_bytes)};
+}
+
+}  // namespace anu::bench

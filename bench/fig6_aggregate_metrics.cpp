@@ -1,0 +1,93 @@
+// Figure 6: aggregated metrics comparison.
+//
+// (a) Aggregate average latency of all requests in the synthetic workload,
+//     with standard deviation, for dynamic prescient, virtual processors
+//     (v = 5) and ANU randomization (simple randomization included for
+//     scale). Paper shape: prescient best; VP slightly worse (large
+//     workload unit); ANU "fairly close" to prescient with no a-priori
+//     knowledge.
+// (b) Average latency of tasks served by each individual server. Paper
+//     shape: consistent per-server latency under ANU except server 0 (the
+//     weakest), which serves ~0.4% of requests, mostly pre-convergence.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "driver/balancer_factory.h"
+#include "driver/paper.h"
+#include "metrics/consistency.h"
+
+using namespace anu;
+using namespace anu::driver;
+
+int main() {
+  std::printf("Figure 6 reproduction: aggregated metrics, synthetic workload\n");
+
+  const auto workload = paper_synthetic_workload();
+  const auto config = paper_experiment_config();
+
+  Table aggregate({"system", "mean_latency", "stddev", "steady_mean",
+                   "steady_stddev", "p50", "p95", "p99"});
+  Table consistency({"system", "latency_cv", "max_over_min",
+                     "servers_counted", "near_idle_servers",
+                     "near_idle_request_share_pct"});
+  Table per_server({"system", "server", "speed", "mean_latency", "served",
+                    "served_pct", "utilization"});
+
+  for (SystemKind kind : kAllSystems) {
+    SystemConfig system;
+    system.kind = kind;
+    auto balancer = make_balancer(system, config.cluster.server_speeds.size());
+    const auto result = run_experiment(config, workload, *balancer);
+
+    aggregate.add_row({system_label(kind),
+                       format_double(result.aggregate.mean(), 3),
+                       format_double(result.aggregate.stddev(), 3),
+                       format_double(result.steady_state.mean(), 3),
+                       format_double(result.steady_state.stddev(), 3),
+                       format_double(result.latency_histogram.quantile(0.50), 3),
+                       format_double(result.latency_histogram.quantile(0.95), 3),
+                       format_double(result.latency_histogram.quantile(0.99), 3)});
+
+    // Servers below 2% of requests are reported as near-idle rather than
+    // folded into the consistency statistic — the paper's own §5.2.2
+    // analysis discounts the weakest server (0.37% of requests) the same
+    // way: "the inconsistency of server 0 does not introduce significant
+    // skew into system-wide performance consistency".
+    const auto report =
+        metrics::performance_consistency(result.per_server, 0.02);
+    consistency.add_row({system_label(kind),
+                         format_double(report.latency_cv, 3),
+                         format_double(report.max_over_min, 2),
+                         std::to_string(report.servers_counted),
+                         std::to_string(report.servers_excluded),
+                         format_double(100.0 * report.excluded_request_share,
+                                       2)});
+
+    for (std::size_t s = 0; s < result.server_count; ++s) {
+      const double pct = 100.0 * static_cast<double>(result.served[s]) /
+                         static_cast<double>(result.requests_completed);
+      per_server.add_row(
+          {system_label(kind), std::to_string(s),
+           format_double(config.cluster.server_speeds[s], 0),
+           format_double(result.per_server[s].mean(), 3),
+           std::to_string(result.served[s]), format_double(pct, 2),
+           format_double(result.utilization[s], 3)});
+    }
+  }
+
+  bench::section("Fig. 6(a): aggregate average latency +- stddev");
+  aggregate.print(std::cout);
+
+  bench::section("Fig. 6(b): average latency per individual server");
+  per_server.print(std::cout);
+
+  bench::section("performance consistency (section 5.2.2 / SLA view)");
+  consistency.print(std::cout);
+
+  bench::note("\nShape checks (paper Fig. 6):");
+  bench::note(" - prescient <= VP and prescient <= ANU <= simple (by far)");
+  bench::note(" - ANU per-server means consistent except the weakest server,");
+  bench::note("   which serves a sub-percent share of requests");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// google-benchmark: hash family and unit-interval mapping throughput.
+// Addressing cost is the paper's efficiency argument (§1/§5.4): lookups are
+// "one or a few hash computations", no I/O, no lookup table.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace {
+
+std::vector<std::string> make_names(std::size_t count, std::size_t length) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = "fileset/path/" + std::to_string(i);
+    while (name.size() < length) name.push_back('x');
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+void BM_Hash64(benchmark::State& state) {
+  const auto names = make_names(1024, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anu::hash64(names[i % names.size()], 42));
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(8)->Arg(32)->Arg(128)->Arg(1024);
+
+void BM_FamilyUnitPoint(benchmark::State& state) {
+  const anu::HashFamily family;
+  const auto names = make_names(1024, 32);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        family.unit_point(names[i % names.size()],
+                          static_cast<std::uint32_t>(i & 3)));
+    ++i;
+  }
+}
+BENCHMARK(BM_FamilyUnitPoint);
+
+void BM_FamilyProbeSequence(benchmark::State& state) {
+  // Cost of a full expected lookup: two probes on average.
+  const anu::HashFamily family;
+  const auto names = make_names(1024, 32);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& name = names[i % names.size()];
+    benchmark::DoNotOptimize(family.unit_point(name, 0));
+    benchmark::DoNotOptimize(family.unit_point(name, 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_FamilyProbeSequence);
+
+}  // namespace

@@ -1,0 +1,99 @@
+// google-benchmark: end-to-end placement lookup for each system's
+// addressing scheme, including concurrent readers on the ANU region map
+// (the shared state is read-mostly: every node addresses through it while
+// only delegate rounds write).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "balance/chord_ring.h"
+#include "balance/simple_random.h"
+#include "balance/virtual_processor.h"
+#include "core/anu_balancer.h"
+
+namespace {
+
+using namespace anu;
+
+std::vector<workload::FileSet> make_file_sets(std::size_t n) {
+  std::vector<workload::FileSet> fs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fs.push_back({FileSetId(i), "lkp/" + std::to_string(i), 1.0});
+  }
+  return fs;
+}
+
+std::vector<std::string> lookup_names(std::size_t n) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) {
+    names.push_back("lkp/" + std::to_string(i));
+  }
+  return names;
+}
+
+void BM_AnuLocate(benchmark::State& state) {
+  // The balancer is shared across benchmark threads; locate() is const and
+  // the region map is immutable during the measurement, modelling the
+  // read-mostly addressing path on every cluster node.
+  static core::AnuBalancer* balancer = [] {
+    auto* b = new core::AnuBalancer(core::AnuConfig{},
+                                    16);
+    b->register_file_sets(make_file_sets(1024));
+    return b;
+  }();
+  static const auto names = lookup_names(1024);
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 7919;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balancer->locate(names[i % names.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_AnuLocate)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_SimpleRandomLookup(benchmark::State& state) {
+  balance::SimpleRandomBalancer balancer(16);
+  balancer.register_file_sets(make_file_sets(1024));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        balancer.server_for(FileSetId(static_cast<std::uint32_t>(i % 1024))));
+    ++i;
+  }
+}
+BENCHMARK(BM_SimpleRandomLookup);
+
+void BM_VirtualProcessorLookup(benchmark::State& state) {
+  balance::VirtualProcessorConfig config;
+  config.vp_per_server = static_cast<std::size_t>(state.range(0));
+  balance::VirtualProcessorBalancer balancer(config, 16);
+  balancer.register_file_sets(make_file_sets(1024));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        balancer.server_for(FileSetId(static_cast<std::uint32_t>(i % 1024))));
+    ++i;
+  }
+}
+BENCHMARK(BM_VirtualProcessorLookup)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_ChordRingLookup(benchmark::State& state) {
+  // The §5.4 footnote alternative: O(log n) finger hops per lookup instead
+  // of a replicated table. Simulated hops are pointer chases here; in a
+  // deployment each is a network round-trip.
+  const balance::ChordRing ring(static_cast<std::size_t>(state.range(0)));
+  const auto names = lookup_names(1024);
+  std::size_t i = 0;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const auto result = ring.lookup(names[i % names.size()]);
+    benchmark::DoNotOptimize(result);
+    hops += result.hops;
+    ++i;
+  }
+  state.counters["hops/lookup"] =
+      static_cast<double>(hops) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ChordRingLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// google-benchmark: discrete-event engine throughput — the substrate every
+// experiment runs on. Measures raw event dispatch and the FIFO-resource
+// service loop at several queue depths.
+#include <benchmark/benchmark.h>
+
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace anu::sim;
+
+void BM_EventDispatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule_at(static_cast<double>(i), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run_to_completion());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1024)->Arg(16384);
+
+void BM_EventScheduleInterleaved(benchmark::State& state) {
+  // Each event schedules its successor: the arrival-cursor pattern the
+  // experiment driver uses.
+  const auto chain = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    std::size_t remaining = chain;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) sim.schedule_after(1.0, next);
+    };
+    sim.schedule_after(1.0, next);
+    benchmark::DoNotOptimize(sim.run_to_completion());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chain));
+}
+BENCHMARK(BM_EventScheduleInterleaved)->Arg(4096);
+
+void BM_FifoServiceLoop(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    FifoResource resource(sim, 5.0);
+    for (std::size_t i = 0; i < jobs; ++i) {
+      resource.submit(Job{1.0, i, nullptr});
+    }
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(resource.jobs_completed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_FifoServiceLoop)->Arg(1024)->Arg(8192);
+
+}  // namespace

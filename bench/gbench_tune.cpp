@@ -1,0 +1,70 @@
+// google-benchmark: delegate-round cost vs. cluster size.
+// The delegate runs every two minutes; its cost must stay trivial even for
+// large k (the tuner is O(k), the region relayout O(P) = O(k), and the
+// placement re-resolution O(m * probes)).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/anu_balancer.h"
+
+namespace {
+
+using namespace anu;
+using namespace anu::core;
+
+std::vector<workload::FileSet> make_file_sets(std::size_t n) {
+  std::vector<workload::FileSet> fs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fs.push_back({FileSetId(i), "tune/" + std::to_string(i), 1.0});
+  }
+  return fs;
+}
+
+void BM_DelegateRound(benchmark::State& state) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  std::vector<TunerInput> inputs(servers);
+  for (std::size_t s = 0; s < servers; ++s) {
+    inputs[s] = {1.0 / static_cast<double>(servers),
+                 balance::ServerReport{1.0 + 0.1 * static_cast<double>(s % 7),
+                                       100}};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_delegate_round(inputs, TunerConfig{}));
+  }
+}
+BENCHMARK(BM_DelegateRound)->Arg(5)->Arg(64)->Arg(1024);
+
+void BM_FullTuneRound(benchmark::State& state) {
+  // End-to-end tune(): delegate + region relayout + placement re-resolution
+  // for the paper's 5-server / 50-file-set configuration and larger.
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  const auto file_sets = servers * 10;
+  AnuBalancer balancer(AnuConfig{}, servers);
+  balancer.register_file_sets(make_file_sets(file_sets));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    for (std::uint32_t s = 0; s < servers; ++s) {
+      // Rotating latencies so shares keep changing (avoid the dead band).
+      const double latency = ((s + round) % servers) < servers / 2 ? 0.2 : 5.0;
+      balancer.report(ServerId(s), {latency, 50});
+    }
+    benchmark::DoNotOptimize(balancer.tune());
+    ++round;
+  }
+}
+BENCHMARK(BM_FullTuneRound)->Arg(5)->Arg(32)->Arg(128);
+
+void BM_MembershipFailRecover(benchmark::State& state) {
+  AnuBalancer balancer(AnuConfig{}, 16);
+  balancer.register_file_sets(make_file_sets(160));
+  std::uint32_t victim = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balancer.on_server_failed(ServerId(victim)));
+    benchmark::DoNotOptimize(balancer.on_server_recovered(ServerId(victim)));
+    victim = (victim + 1) % 16;
+  }
+}
+BENCHMARK(BM_MembershipFailRecover);
+
+}  // namespace

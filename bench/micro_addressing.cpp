@@ -1,0 +1,117 @@
+// §4 addressing claims (not a numbered figure):
+//   * "On average, the system requires two probes to assign a file set" —
+//     successive probes succeed with probability 1/2 under half occupancy,
+//     so probe counts are geometric(1/2) with mean 2 and tail 2^-r;
+//   * load balance within a small constant of m/n for m file sets on n
+//     servers (the paper cites the SIEVE bound ceil(m/n + 1) w.h.p. with
+//     the multiple-choice heuristic; plain re-hash placement concentrates a
+//     bit more but stays far below simple randomization's lg n / lg lg n
+//     skew when shares are equal).
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/anu_balancer.h"
+
+using namespace anu;
+using namespace anu::core;
+
+int main() {
+  std::printf("Addressing microbenchmark: probe counts and placement balance\n");
+
+  // --- probe-count distribution -----------------------------------------
+  AnuBalancer balancer(AnuConfig{}, 5);
+  constexpr int kLookups = 200'000;
+  std::vector<std::size_t> by_probes(12, 0);
+  double total_probes = 0.0;
+  for (int i = 0; i < kLookups; ++i) {
+    const auto lookup = balancer.locate("probe/" + std::to_string(i));
+    ++by_probes[std::min<std::size_t>(lookup.probes, by_probes.size() - 1)];
+    total_probes += lookup.probes;
+  }
+  Table probes({"probes", "lookups", "fraction", "geometric(1/2)"});
+  double expect = 0.5;
+  for (std::size_t r = 1; r < by_probes.size() - 1; ++r) {
+    probes.add_row({std::to_string(r), std::to_string(by_probes[r]),
+                    format_double(static_cast<double>(by_probes[r]) / kLookups, 5),
+                    format_double(expect, 5)});
+    expect /= 2.0;
+  }
+  bench::section("probe-count distribution (expect 2^-r tail)");
+  probes.print(std::cout);
+  std::printf("mean probes per lookup: %.4f (paper: 2 on average)\n",
+              total_probes / kLookups);
+
+  // --- placement balance: m file sets on n equal servers -----------------
+  bench::section("placement balance, m file sets on n equal-share servers");
+  Table balance({"n_servers", "m_filesets", "m/n", "max_load", "min_load",
+                 "max-m/n"});
+  for (std::size_t n : {4u, 8u, 16u}) {
+    for (std::size_t m : {64u, 256u, 1024u}) {
+      AnuBalancer bal(AnuConfig{}, n);
+      std::vector<workload::FileSet> fs;
+      for (std::uint32_t i = 0; i < m; ++i) {
+        fs.push_back({FileSetId(i), "bal/" + std::to_string(i), 1.0});
+      }
+      bal.register_file_sets(fs);
+      std::vector<std::size_t> counts(n, 0);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        ++counts[bal.server_for(FileSetId(i)).value()];
+      }
+      std::size_t lo = m, hi = 0;
+      for (auto c : counts) {
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+      }
+      balance.add_row(
+          {std::to_string(n), std::to_string(m),
+           format_double(static_cast<double>(m) / static_cast<double>(n), 1),
+           std::to_string(hi), std::to_string(lo),
+           format_double(static_cast<double>(hi) -
+                             static_cast<double>(m) / static_cast<double>(n),
+                         1)});
+    }
+  }
+  balance.print(std::cout);
+
+  // --- one-choice vs the SIEVE two-choice heuristic -----------------------
+  bench::section("placement balance: single vs multiple choice (section 4)");
+  Table choice_table({"choices", "n", "m", "max_load", "max-m/n",
+                      "extra_state_bytes"});
+  for (std::uint32_t choices : {1u, 2u, 4u}) {
+    for (std::size_t m : {256u, 1024u}) {
+      const std::size_t n = 8;
+      AnuConfig config;
+      config.placement_choices = choices;
+      AnuBalancer bal(config, n);
+      std::vector<workload::FileSet> fs;
+      for (std::uint32_t i = 0; i < m; ++i) {
+        fs.push_back({FileSetId(i), "mc/" + std::to_string(i), 1.0});
+      }
+      bal.register_file_sets(fs);
+      std::vector<std::size_t> counts(n, 0);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        ++counts[bal.server_for(FileSetId(i)).value()];
+      }
+      std::size_t hi = 0;
+      for (auto c : counts) hi = std::max(hi, c);
+      const std::size_t base = AnuBalancer(AnuConfig{}, n).shared_state_bytes();
+      choice_table.add_row(
+          {std::to_string(choices), std::to_string(n), std::to_string(m),
+           std::to_string(hi),
+           format_double(static_cast<double>(hi) -
+                             static_cast<double>(m) / static_cast<double>(n),
+                         1),
+           std::to_string(bal.shared_state_bytes() - base)});
+    }
+  }
+  choice_table.print(std::cout);
+
+  bench::note("\nShape check: max load stays within a small additive band of");
+  bench::note("m/n before any tuning; the delegate then removes residual");
+  bench::note("hashing variance (paper (section 4): better balance than simple");
+  bench::note("randomization even for homogeneous servers and file sets).");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// §4 elasticity narrative (Fig. 3 and the failure/recovery discussion):
+//   * adding a fifth server to a four-server system re-partitions the unit
+//     interval 8 -> 16 without moving any existing load;
+//   * failure: the failed server's file sets re-hash to survivors (plus a
+//     small measured collateral from survivor growth mapping fresh space);
+//   * recovery: the server re-enters in a free partition with a small share.
+// This harness quantifies movement for each membership event.
+#include <cstdio>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "balance/linear_hashing.h"
+#include "bench_util.h"
+#include "core/anu_balancer.h"
+
+using namespace anu;
+using namespace anu::core;
+
+namespace {
+
+std::vector<workload::FileSet> make_file_sets(std::size_t n) {
+  std::vector<workload::FileSet> fs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fs.push_back({FileSetId(i), "els/" + std::to_string(i), 1.0});
+  }
+  return fs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Elasticity microbenchmark: re-partitioning and membership\n");
+
+  // --- Fig. 3: adding the fifth server re-partitions without moving load.
+  bench::section("re-partitioning on add (paper Fig. 3)");
+  {
+    AnuBalancer bal(AnuConfig{}, 4);
+    const auto fs = make_file_sets(50);
+    bal.register_file_sets(fs);
+    std::printf("4 servers: %zu partitions\n",
+                bal.region_map().partition_count());
+    const auto moves = bal.on_server_added(ServerId(4));
+    std::printf("added server 4 -> %zu partitions; file sets moved: %zu "
+                "(all to the newcomer or its displaced space)\n",
+                bal.region_map().partition_count(), moves.moved_count());
+    std::size_t to_newcomer = 0;
+    for (const auto& m : moves.moves) to_newcomer += m.to == ServerId(4);
+    std::printf("moves landing on the new server: %zu/%zu\n", to_newcomer,
+                moves.moved_count());
+  }
+
+  // --- failure / recovery movement accounting over many trials.
+  bench::section("failure movement: owned vs collateral (100 trials)");
+  Table table({"event", "mean_moved", "mean_owned", "mean_collateral",
+               "collateral_pct_of_filesets"});
+  constexpr std::size_t kTrials = 100;
+  constexpr std::size_t kSets = 50;
+  double fail_moved = 0, fail_owned = 0, recover_moved = 0;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    AnuConfig config;
+    config.hash_seed = 0x1000 + trial;  // vary hashing, same structure
+    AnuBalancer bal(config, 5);
+    bal.register_file_sets(make_file_sets(kSets));
+    const auto victim = ServerId(static_cast<std::uint32_t>(trial % 5));
+    std::set<std::uint32_t> owned;
+    for (std::uint32_t i = 0; i < kSets; ++i) {
+      if (bal.server_for(FileSetId(i)) == victim) owned.insert(i);
+    }
+    const auto fail = bal.on_server_failed(victim);
+    fail_moved += static_cast<double>(fail.moved_count());
+    for (const auto& m : fail.moves) {
+      fail_owned += owned.count(m.file_set.value()) ? 1.0 : 0.0;
+    }
+    const auto recover = bal.on_server_recovered(victim);
+    recover_moved += static_cast<double>(recover.moved_count());
+  }
+  const double collateral = (fail_moved - fail_owned) / kTrials;
+  table.add_row({"fail", format_double(fail_moved / kTrials, 2),
+                 format_double(fail_owned / kTrials, 2),
+                 format_double(collateral, 2),
+                 format_double(100.0 * collateral / kSets, 1)});
+  table.add_row({"recover", format_double(recover_moved / kTrials, 2), "-",
+                 "-", "-"});
+  table.print(std::cout);
+
+  // --- contrast with linear hashing on pure growth (§4's citation [20]) ---
+  bench::section("growth movement: ANU re-partitioning vs linear hashing");
+  {
+    constexpr std::size_t kKeys = 50;
+    Table growth({"scheme", "grow_step", "filesets_moved"});
+
+    // ANU: add servers 4 -> 8; each addition re-partitions (when needed)
+    // and seats the newcomer; count actual placement changes.
+    AnuBalancer bal(AnuConfig{}, 4);
+    bal.register_file_sets(make_file_sets(kKeys));
+    for (std::uint32_t added = 4; added < 8; ++added) {
+      const auto moves = bal.on_server_added(ServerId(added));
+      growth.add_row({"anu", std::to_string(added) + "->" +
+                                 std::to_string(added + 1),
+                      std::to_string(moves.moved_count())});
+    }
+
+    // Linear hashing: same growth path; count keys whose bucket changed.
+    balance::LinearHashing lh(4);
+    std::vector<std::uint32_t> where(kKeys);
+    const auto fs = make_file_sets(kKeys);
+    for (std::size_t i = 0; i < kKeys; ++i) {
+      where[i] = lh.bucket_of(fs[i].name);
+    }
+    for (std::uint32_t added = 4; added < 8; ++added) {
+      lh.add_bucket();
+      std::size_t moved = 0;
+      for (std::size_t i = 0; i < kKeys; ++i) {
+        const auto now = lh.bucket_of(fs[i].name);
+        if (now != where[i]) {
+          ++moved;
+          where[i] = now;
+        }
+      }
+      growth.add_row({"linear-hashing", std::to_string(added) + "->" +
+                                            std::to_string(added + 1),
+                      std::to_string(moved)});
+    }
+    growth.print(std::cout);
+    bench::note("raw move counts are similar at this scale; the differences");
+    bench::note("are what the moves buy. ANU's moves seat the newcomer with");
+    bench::note("a tunable share (the delegate then adapts it to capacity),");
+    bench::note("and the addressing-table refinement itself (8->16) moved");
+    bench::note("zero file sets — section 4's contrast with linear hashing,");
+    bench::note("whose splits are fixed-size rehash churn and whose");
+    bench::note("mid-doubling state leaves split buckets holding half the");
+    bench::note("load of unsplit ones (structural imbalance ANU never has).");
+  }
+
+  bench::note("\nShape checks (paper section 4): re-partitioning moves zero");
+  bench::note("load; failure moves essentially the failed server's file sets");
+  bench::note("(collateral capture stays a small fraction); recovery moves a");
+  bench::note("partition-sized sliver to the returning server.");
+  return 0;
+}

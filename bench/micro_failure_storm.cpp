@@ -1,0 +1,84 @@
+// Resilience under membership churn — quantifying §4's failure/recovery
+// story at paper scale.
+//
+// The paper asserts ANU "performs well when servers fail or recover ...
+// maintaining good load balance and preserving load locality" but shows no
+// figure. This harness runs the synthetic workload while a randomized
+// fail/recover storm takes servers down (one at a time, fixed downtime)
+// and compares all four systems on: completed requests, mean latency, and
+// movement — plus a no-storm baseline delta.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "cluster/failure_schedule.h"
+#include "driver/balancer_factory.h"
+#include "driver/paper.h"
+#include "driver/sweep.h"
+
+using namespace anu;
+using namespace anu::driver;
+
+int main() {
+  std::printf("Failure-storm resilience (section 4 failure/recovery claims)\n");
+  std::printf("(synthetic paper workload; 6 fail/recover rounds of 8 min "
+              "downtime each)\n");
+
+  const auto workload = paper_synthetic_workload();
+  auto calm = paper_experiment_config();
+  auto storm = paper_experiment_config();
+  storm.failures = cluster::FailureSchedule::random_fail_recover(
+      /*seed=*/11, /*server_count=*/5, /*rounds=*/6,
+      /*horizon=*/workload.span(), /*downtime=*/480.0);
+
+  struct Cell {
+    ExperimentResult calm;
+    ExperimentResult storm;
+  };
+  const std::function<Cell(std::size_t)> job = [&](std::size_t index) {
+    const SystemKind kind = kAllSystems[index];
+    Cell cell;
+    {
+      SystemConfig system;
+      system.kind = kind;
+      auto balancer = make_balancer(system, 5);
+      cell.calm = run_experiment(calm, workload, *balancer);
+    }
+    {
+      SystemConfig system;
+      system.kind = kind;
+      auto balancer = make_balancer(system, 5);
+      cell.storm = run_experiment(storm, workload, *balancer);
+    }
+    return cell;
+  };
+  const auto cells = parallel_map<Cell>(4, job);
+
+  Table table({"system", "calm_latency", "storm_latency", "latency_factor",
+               "storm_completed_pct", "storm_moves"});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& cell = cells[i];
+    table.add_row(
+        {system_label(kAllSystems[i]),
+         format_double(cell.calm.aggregate.mean(), 3),
+         format_double(cell.storm.aggregate.mean(), 3),
+         format_double(cell.storm.aggregate.mean() /
+                           cell.calm.aggregate.mean(),
+                       2),
+         format_double(100.0 *
+                           static_cast<double>(cell.storm.requests_completed) /
+                           static_cast<double>(cell.storm.requests_issued),
+                       2),
+         std::to_string(cell.storm.total_moved)});
+  }
+  bench::section("calm vs storm, all systems");
+  table.print(std::cout);
+
+  bench::note("\nShape checks: no adaptive system loses requests (flushed");
+  bench::note("work re-dispatches through the updated placement); ANU");
+  bench::note("absorbs the storm with a bounded latency factor and a move");
+  bench::note("count that stays orders of magnitude below the per-round");
+  bench::note("re-optimizers', because survivors absorb a failed share by");
+  bench::note("region scaling rather than global reassignment.");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Scale study: ANU randomization as the cluster grows.
+//
+// §1/§5.4 position ANU for "large clusters consisting of tens of thousands
+// of physical servers": the replicated state is one partition table entry
+// per 2^(ceil(lg k)+1) partitions — O(k) — and the delegate round is
+// O(k + m·probes). This harness grows the cluster and measures replicated
+// state, lookup probes, delegate-round wall time, and convergence quality
+// of the tuner under a synthetic heterogeneous latency model.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/anu_balancer.h"
+
+using namespace anu;
+using namespace anu::core;
+
+int main() {
+  std::printf("Scale study: cluster sizes 5 .. 320\n");
+
+  Table table({"servers", "partitions", "state_bytes", "mean_probes",
+               "tune_round_us", "imbalance_after_30_rounds"});
+  for (std::size_t k : {5u, 10u, 20u, 40u, 80u, 160u, 320u}) {
+    AnuBalancer balancer(AnuConfig{}, k);
+    const std::size_t m = k * 10;
+    std::vector<workload::FileSet> fs;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      fs.push_back({FileSetId(i), "scale/" + std::to_string(i), 1.0});
+    }
+    balancer.register_file_sets(fs);
+
+    // Lookup probes.
+    double probes = 0.0;
+    constexpr int kLookups = 20'000;
+    for (int i = 0; i < kLookups; ++i) {
+      probes += balancer.locate("probe/" + std::to_string(i)).probes;
+    }
+
+    // Heterogeneous capacities: speed(s) = 1 + (s mod 10). The latency
+    // model is load/speed with load proportional to share; run 30 rounds
+    // and measure residual normalized imbalance.
+    Xoshiro256 rng(k);
+    std::vector<double> speed(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      speed[s] = 1.0 + static_cast<double>(s % 10);
+    }
+    double round_us = 0.0;
+    for (int round = 0; round < 30; ++round) {
+      const auto shares = balancer.region_map().shares();
+      for (std::uint32_t s = 0; s < k; ++s) {
+        const double latency =
+            shares[s].to_double() / speed[s] * 1000.0 + 1e-6;
+        balancer.report(ServerId(s), {latency, 100});
+      }
+      const auto start = std::chrono::steady_clock::now();
+      balancer.tune();
+      const auto stop = std::chrono::steady_clock::now();
+      round_us += std::chrono::duration<double, std::micro>(stop - start)
+                      .count();
+    }
+    // Residual imbalance: max/min of share/speed over servers.
+    const auto shares = balancer.region_map().shares();
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t s = 0; s < k; ++s) {
+      const double norm = shares[s].to_double() / speed[s];
+      lo = std::min(lo, norm);
+      hi = std::max(hi, norm);
+    }
+    table.add_row({std::to_string(k),
+                   std::to_string(balancer.region_map().partition_count()),
+                   std::to_string(balancer.shared_state_bytes()),
+                   format_double(probes / kLookups, 3),
+                   format_double(round_us / 30.0, 1),
+                   format_double(hi / lo, 2)});
+  }
+  bench::section("scaling of state, addressing and the delegate round");
+  table.print(std::cout);
+
+  bench::note("\nShape checks: state grows linearly in servers (partition");
+  bench::note("table), probes stay ~2 regardless of scale (half-occupancy),");
+  bench::note("the delegate round stays far below a millisecond per cluster");
+  bench::note("of hundreds, and the tuner still converges shares toward");
+  bench::note("capacity at every size.");
+  return 0;
+}

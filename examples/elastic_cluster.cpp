@@ -1,0 +1,68 @@
+// "Clusters on demand": servers come and go during the day (§1).
+//
+// "Servers are dynamically interchangeable and reconfigurable without
+// negatively affecting performance of applications ... the same server
+// might be deployed in different clusters at different times during the
+// same day or hours." This example scripts a day-in-the-life membership
+// timeline — a failure with recovery, a decommission, and two
+// commissionings (one triggering re-partitioning) — and shows the cluster
+// absorbing every change without operator involvement.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "driver/balancer_factory.h"
+#include "driver/paper.h"
+
+using namespace anu;
+using namespace anu::driver;
+
+int main() {
+  std::printf("elastic_cluster: membership churn under ANU randomization\n\n");
+
+  const auto workload = paper_synthetic_workload();
+  auto config = paper_experiment_config();
+  config.cluster.server_speeds = {2.0, 4.0, 6.0, 8.0};  // starts with four
+
+  cluster::FailureSchedule timeline;
+  // minute 30: server 1 crashes; minute 50: it recovers.
+  timeline.add({30.0 * 60.0, cluster::MembershipAction::kFail, ServerId(1)});
+  timeline.add({50.0 * 60.0, cluster::MembershipAction::kRecover, ServerId(1)});
+  // minute 80: borrow a big machine from another cluster (k 4->5: the unit
+  // interval re-partitions 8 -> 16, moving no existing load).
+  timeline.add({80.0 * 60.0, cluster::MembershipAction::kAdd, ServerId(), 9.0});
+  // minute 120: the slowest machine is decommissioned for the day.
+  timeline.add({120.0 * 60.0, cluster::MembershipAction::kRemove, ServerId(0)});
+  // minute 150: one more loaner arrives.
+  timeline.add({150.0 * 60.0, cluster::MembershipAction::kAdd, ServerId(), 5.0});
+  config.failures = timeline;
+
+  SystemConfig system;
+  system.kind = SystemKind::kAnu;
+  auto balancer = make_balancer(system, config.cluster.server_speeds.size());
+  const auto result = run_experiment(config, workload, *balancer);
+
+  std::printf("timeline: fail(s1)@30min, recover(s1)@50min, add(speed 9)@80min,"
+              "\n          remove(s0)@120min, add(speed 5)@150min\n\n");
+
+  Table table({"server", "speed", "served", "mean_latency", "utilization"});
+  const std::vector<double> final_speeds{2.0, 4.0, 6.0, 8.0, 9.0, 5.0};
+  for (std::size_t s = 0; s < result.server_count; ++s) {
+    table.add_row({std::to_string(s), format_double(final_speeds[s], 0),
+                   std::to_string(result.served[s]),
+                   format_double(result.per_server[s].mean(), 3),
+                   format_double(result.utilization[s], 3)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nrequests completed: %llu/%llu (none lost across five "
+              "membership changes)\n",
+              static_cast<unsigned long long>(result.requests_completed),
+              static_cast<unsigned long long>(result.requests_issued));
+  std::printf("aggregate latency: %.3f s; file-set moves: %zu\n",
+              result.aggregate.mean(), result.total_moved);
+  std::printf("every transition was handled by re-hash addressing plus\n"
+              "region rescaling: no lookup tables rebuilt, no manual "
+              "rebalancing.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared-disk file-system metadata cluster — the paper's home scenario (§3).
+//
+// Simulates the full evaluation setup: the five-server heterogeneous
+// cluster (speeds 1,3,5,7,9), the synthetic metadata workload (66,401
+// requests against 50 file sets over 200 minutes), the two-minute delegate
+// tuning loop — and reports convergence, per-server consistency and load
+// movement, i.e. a one-binary tour of the paper's §5.2/§5.3 results.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "driver/balancer_factory.h"
+#include "driver/paper.h"
+
+using namespace anu;
+using namespace anu::driver;
+
+int main() {
+  std::printf("metadata_cluster: ANU randomization on a shared-disk "
+              "metadata cluster\n\n");
+
+  const auto workload = paper_synthetic_workload();
+  const auto config = paper_experiment_config();
+
+  std::printf("workload: %zu requests, %zu file sets, %.0f minutes\n",
+              workload.request_count(), workload.file_set_count(),
+              workload.span() / 60.0);
+  std::printf("cluster: 5 metadata servers, speeds 1,3,5,7,9 "
+              "(capacity 25 units)\n\n");
+
+  SystemConfig system;
+  system.kind = SystemKind::kAnu;
+  auto balancer = make_balancer(system, config.cluster.server_speeds.size());
+  const auto result = run_experiment(config, workload, *balancer);
+
+  std::printf("aggregate request latency: %.3f s (stddev %.3f)\n",
+              result.aggregate.mean(), result.aggregate.stddev());
+  std::printf("post-convergence latency:  %.3f s (stddev %.3f)\n\n",
+              result.steady_state.mean(), result.steady_state.stddev());
+
+  Table servers({"server", "speed", "served", "served_pct", "mean_latency",
+                 "utilization"});
+  for (std::size_t s = 0; s < result.server_count; ++s) {
+    servers.add_row(
+        {std::to_string(s),
+         format_double(config.cluster.server_speeds[s], 0),
+         std::to_string(result.served[s]),
+         format_double(100.0 * static_cast<double>(result.served[s]) /
+                           static_cast<double>(result.requests_completed),
+                       2),
+         format_double(result.per_server[s].mean(), 3),
+         format_double(result.utilization[s], 3)});
+  }
+  servers.print(std::cout);
+
+  std::printf("\nload movement: %zu file-set moves over %zu tuning rounds "
+              "(%zu distinct file sets, %.1f%% of workload weight)\n",
+              result.total_moved, result.movement.size(),
+              result.unique_moved, result.percent_unique_workload_moved);
+  std::printf("replicated addressing state: %zu bytes "
+              "(the unit-interval partition table)\n",
+              result.shared_state_bytes);
+
+  std::printf("\nthe weakest server serves a marginal share once balanced —\n"
+              "the delegate identified the capacity mismatch from latency\n"
+              "reports alone, with no a-priori knowledge of server speeds.\n");
+  return 0;
+}

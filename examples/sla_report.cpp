@@ -1,0 +1,63 @@
+// Performance-consistency / SLA reporting (paper §5.2.2).
+//
+// "As cluster and grid systems extend to support Service Level Agreements,
+// it is essential that application performance is consistent over different
+// servers in a heterogeneous cluster." This example runs the paper workload
+// under each system and produces the report an SLA dashboard would show:
+// latency percentiles, the share of requests that met a deadline, and the
+// per-server consistency index — highlighting that ANU's consistency comes
+// without any capability knowledge.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "driver/balancer_factory.h"
+#include "driver/paper.h"
+#include "metrics/consistency.h"
+
+using namespace anu;
+using namespace anu::driver;
+
+int main() {
+  std::printf("sla_report: percentiles and consistency per system\n\n");
+
+  const auto workload = paper_synthetic_workload();
+  const auto config = paper_experiment_config();
+  // An SLA target: metadata requests answered within this bound.
+  constexpr double kDeadline = 5.0;
+
+  Table table({"system", "p50", "p90", "p99", "pct_within_5s",
+               "per_server_cv", "slowest/fastest"});
+  for (SystemKind kind : kAllSystems) {
+    SystemConfig system;
+    system.kind = kind;
+    auto balancer = make_balancer(system, config.cluster.server_speeds.size());
+    const auto result = run_experiment(config, workload, *balancer);
+
+    // Fraction of requests within the deadline, from the log histogram:
+    // find the quantile where the deadline sits by bisection on q.
+    double lo = 0.0, hi = 1.0;
+    for (int iter = 0; iter < 40; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (result.latency_histogram.quantile(mid) < kDeadline ? lo : hi) = mid;
+    }
+    const auto consistency =
+        metrics::performance_consistency(result.per_server, 0.02);
+    table.add_row({system_label(kind),
+                   format_double(result.latency_histogram.quantile(0.50), 3),
+                   format_double(result.latency_histogram.quantile(0.90), 3),
+                   format_double(result.latency_histogram.quantile(0.99), 3),
+                   format_double(100.0 * lo, 2),
+                   format_double(consistency.latency_cv, 3),
+                   format_double(consistency.max_over_min, 2)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nreading: simple randomization misses the deadline for a\n"
+              "large share of requests (everything routed to the weak server\n"
+              "is late); the oracle systems meet it but their per-server\n"
+              "latencies differ by the servers' speed ratio; ANU's non-idle\n"
+              "servers answer within a narrow band of each other — the\n"
+              "\"performance consistency\" the paper is titled after.\n");
+  return 0;
+}

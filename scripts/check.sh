@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, test, run every figure harness and
+# microbenchmark. This is what CI runs and what EXPERIMENTS.md numbers come
+# from.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "=== $b ==="
+    "$b"
+  fi
+done

@@ -1,0 +1,34 @@
+// libanu — umbrella header.
+//
+// Pulls in the full public API: the ANU balancer and its substrates, the
+// baseline systems, the cluster simulator, workload generators, metrics
+// and the experiment driver. Include the individual headers instead when
+// compile time matters; they are all self-contained.
+//
+//   #include "anu.h"
+//   anu::core::AnuBalancer balancer(anu::core::AnuConfig{}, 5);
+#pragma once
+
+#include "balance/balancer.h"          // IWYU pragma: export
+#include "balance/chord_ring.h"        // IWYU pragma: export
+#include "balance/prescient.h"         // IWYU pragma: export
+#include "balance/simple_random.h"     // IWYU pragma: export
+#include "balance/virtual_processor.h" // IWYU pragma: export
+#include "cluster/cluster.h"           // IWYU pragma: export
+#include "cluster/failure_schedule.h"  // IWYU pragma: export
+#include "common/stats.h"              // IWYU pragma: export
+#include "common/types.h"              // IWYU pragma: export
+#include "common/unit_point.h"         // IWYU pragma: export
+#include "core/anu_balancer.h"         // IWYU pragma: export
+#include "core/delegate.h"             // IWYU pragma: export
+#include "core/region_map.h"           // IWYU pragma: export
+#include "core/tuner.h"                // IWYU pragma: export
+#include "driver/balancer_factory.h"   // IWYU pragma: export
+#include "driver/experiment.h"         // IWYU pragma: export
+#include "driver/paper.h"              // IWYU pragma: export
+#include "hash/hash_family.h"          // IWYU pragma: export
+#include "metrics/consistency.h"       // IWYU pragma: export
+#include "proto/protocol.h"            // IWYU pragma: export
+#include "sim/simulation.h"            // IWYU pragma: export
+#include "workload/synthetic.h"        // IWYU pragma: export
+#include "workload/trace.h"            // IWYU pragma: export

@@ -1,0 +1,175 @@
+#include "balance/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+namespace {
+
+struct Loads {
+  std::vector<double> load;        // raw demand per server
+  const std::vector<double>* speeds;
+
+  [[nodiscard]] double normalized(std::size_t s) const {
+    return load[s] / (*speeds)[s];
+  }
+  [[nodiscard]] double normalized_with(std::size_t s, double extra) const {
+    return (load[s] + extra) / (*speeds)[s];
+  }
+};
+
+}  // namespace
+
+std::vector<ServerId> assign_min_latency(const std::vector<double>& demands,
+                                         const std::vector<double>& speeds,
+                                         const AssignmentConfig& config) {
+  ANU_REQUIRE(!speeds.empty());
+  std::vector<std::size_t> up;
+  for (std::size_t s = 0; s < speeds.size(); ++s) {
+    if (speeds[s] > 0.0) up.push_back(s);
+  }
+  ANU_REQUIRE(!up.empty());
+
+  // LPT: items in descending demand, each to the server whose normalized
+  // load after placement is smallest.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demands[a] > demands[b];
+                   });
+
+  Loads loads{std::vector<double>(speeds.size(), 0.0), &speeds};
+  std::vector<ServerId> placement(demands.size());
+  for (std::size_t item : order) {
+    ANU_REQUIRE(demands[item] >= 0.0);
+    std::size_t best = up.front();
+    double best_load = std::numeric_limits<double>::infinity();
+    for (std::size_t s : up) {
+      const double after = loads.normalized_with(s, demands[item]);
+      // Tie-break toward the faster server: it finishes the marginal work
+      // sooner, and the deterministic order keeps runs reproducible.
+      if (after < best_load ||
+          (after == best_load && speeds[s] > speeds[best])) {
+        best = s;
+        best_load = after;
+      }
+    }
+    loads.load[best] += demands[item];
+    placement[item] = ServerId(static_cast<std::uint32_t>(best));
+  }
+
+  // Local search: single-item moves that reduce (max normalized load, then
+  // sum of squared normalized loads). Few passes suffice at this scale.
+  for (std::size_t pass = 0; pass < config.refine_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t item : order) {
+      const std::size_t from = placement[item].value();
+      const double d = demands[item];
+      if (d == 0.0) continue;
+      const double from_before = loads.normalized(from);
+      for (std::size_t to : up) {
+        if (to == from) continue;
+        const double to_after = loads.normalized_with(to, d);
+        const double from_after = loads.normalized_with(from, -d);
+        // The move helps if the larger of the two involved servers' loads
+        // strictly decreases.
+        const double before = std::max(from_before, loads.normalized(to));
+        const double after = std::max(from_after, to_after);
+        if (after < before) {
+          loads.load[from] -= d;
+          loads.load[to] += d;
+          placement[item] = ServerId(static_cast<std::uint32_t>(to));
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return placement;
+}
+
+std::vector<ServerId> assign_capacity_proportional(
+    const std::vector<double>& demands, const std::vector<double>& speeds) {
+  ANU_REQUIRE(!speeds.empty());
+  std::vector<std::size_t> up;
+  double total_speed = 0.0;
+  for (std::size_t s = 0; s < speeds.size(); ++s) {
+    if (speeds[s] > 0.0) {
+      up.push_back(s);
+      total_speed += speeds[s];
+    }
+  }
+  ANU_REQUIRE(!up.empty());
+
+  // Quotas: items per server proportional to speed, largest remainder.
+  const std::size_t n = demands.size();
+  std::vector<std::size_t> quota(speeds.size(), 0);
+  std::size_t assigned = 0;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  for (std::size_t s : up) {
+    const double exact = static_cast<double>(n) * speeds[s] / total_speed;
+    quota[s] = static_cast<std::size_t>(exact);
+    assigned += quota[s];
+    remainders.emplace_back(exact - static_cast<double>(quota[s]), s);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  for (std::size_t k = 0; assigned < n; ++k, ++assigned) {
+    ++quota[remainders[k % remainders.size()].second];
+  }
+
+  // Heaviest items first; within the remaining quotas pick the server whose
+  // normalized load grows least (so the big VPs land on fast servers).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demands[a] > demands[b];
+                   });
+  std::vector<double> load(speeds.size(), 0.0);
+  std::vector<ServerId> placement(n);
+  for (std::size_t item : order) {
+    std::size_t best = speeds.size();
+    double best_load = std::numeric_limits<double>::infinity();
+    for (std::size_t s : up) {
+      if (quota[s] == 0) continue;
+      const double after = (load[s] + demands[item]) / speeds[s];
+      if (after < best_load) {
+        best = s;
+        best_load = after;
+      }
+    }
+    ANU_ENSURE(best < speeds.size());  // quotas sum to n by construction
+    --quota[best];
+    load[best] += demands[item];
+    placement[item] = ServerId(static_cast<std::uint32_t>(best));
+  }
+  return placement;
+}
+
+double max_normalized_load(const std::vector<ServerId>& placement,
+                           const std::vector<double>& demands,
+                           const std::vector<double>& speeds) {
+  ANU_REQUIRE(placement.size() == demands.size());
+  std::vector<double> load(speeds.size(), 0.0);
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    load[placement[i].value()] += demands[i];
+  }
+  double worst = 0.0;
+  for (std::size_t s = 0; s < speeds.size(); ++s) {
+    if (speeds[s] > 0.0) worst = std::max(worst, load[s] / speeds[s]);
+    else ANU_REQUIRE(load[s] == 0.0);
+  }
+  return worst;
+}
+
+}  // namespace anu::balance

@@ -1,0 +1,52 @@
+// Prescient assignment: place weighted items on heterogeneous servers to
+// minimize average latency.
+//
+// The paper's "dynamic prescient" system "realizes the optimal load balance
+// through identifying the permutation of file sets onto servers that
+// minimizes average latency, because it has perfect knowledge of server
+// capabilities and workload properties" (§5.1). Minimizing queueing latency
+// under FIFO service is (to first order) minimizing the maximum normalized
+// load max_j(load_j / speed_j) — makespan on uniform machines — which is
+// NP-hard; the classic LPT greedy plus a local-search polish gets within a
+// few percent of optimal on instances this size, and is what we use for
+// both dynamic prescient (items = file sets) and the virtual-processor
+// system (items = VPs). Ties are broken deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace anu::balance {
+
+struct AssignmentConfig {
+  /// Local-search passes after LPT (0 disables polishing).
+  std::size_t refine_passes = 4;
+};
+
+/// Assigns item i (demand demands[i]) to a server, minimizing the maximum
+/// of (sum of assigned demand) / speed over servers, with total normalized
+/// load as tie-breaker. Servers with speed <= 0 are down and receive
+/// nothing. At least one speed must be positive. Zero-demand items go to
+/// the fastest up server.
+[[nodiscard]] std::vector<ServerId> assign_min_latency(
+    const std::vector<double>& demands, const std::vector<double>& speeds,
+    const AssignmentConfig& config = {});
+
+/// The objective assign_min_latency minimizes; exposed for tests/benches.
+[[nodiscard]] double max_normalized_load(const std::vector<ServerId>& placement,
+                                         const std::vector<double>& demands,
+                                         const std::vector<double>& speeds);
+
+/// Capacity-proportional assignment: each up server receives a number of
+/// items proportional to its speed (largest-remainder rounding), and within
+/// those quotas the heaviest items go where they raise normalized load
+/// least. This is the classic virtual-processor discipline (server i hosts
+/// ~capacity_i/total VPs); its count quantization is exactly the
+/// granularity penalty the paper's Fig. 8 charges against VP systems —
+/// e.g. a server with 4% of capacity can hold 0 or 1 of 5 VPs, never 0.2.
+[[nodiscard]] std::vector<ServerId> assign_capacity_proportional(
+    const std::vector<double>& demands, const std::vector<double>& speeds);
+
+}  // namespace anu::balance

@@ -1,0 +1,20 @@
+#include "balance/balancer.h"
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+RebalanceResult diff_placement(const std::vector<ServerId>& before,
+                               const std::vector<ServerId>& after) {
+  ANU_REQUIRE(before.size() == after.size());
+  RebalanceResult result;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) {
+      result.moves.push_back(FileSetMove{
+          FileSetId(static_cast<std::uint32_t>(i)), before[i], after[i]});
+    }
+  }
+  return result;
+}
+
+}  // namespace anu::balance

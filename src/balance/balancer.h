@@ -1,0 +1,90 @@
+// The load-balancer interface shared by ANU randomization and the paper's
+// three comparison systems (§5.1): simple randomization, dynamic prescient,
+// and virtual processors.
+//
+// A balancer owns the file-set -> server placement. The experiment driver
+// asks `server_for` on every request arrival, feeds per-server latency
+// reports each tuning interval, and calls `tune` at interval boundaries;
+// `tune` returns the file sets that moved so the driver can account load
+// movement (paper Fig. 7) and model movement cost.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/workload.h"
+
+namespace anu::balance {
+
+/// What one server reports to the tuning authority for the last interval
+/// (paper §4: each server computes its latency over the interval).
+struct ServerReport {
+  double mean_latency = 0.0;
+  std::size_t completed = 0;
+};
+
+/// A single file-set relocation produced by a tuning round.
+struct FileSetMove {
+  FileSetId file_set;
+  ServerId from;
+  ServerId to;
+};
+
+/// Result of one tuning round.
+struct RebalanceResult {
+  std::vector<FileSetMove> moves;
+  [[nodiscard]] std::size_t moved_count() const { return moves.size(); }
+};
+
+/// Oracle knowledge handed to prescient balancers before each tuning round:
+/// per-file-set offered demand for the *upcoming* interval (perfect
+/// knowledge of workload properties) and per-server speeds (perfect
+/// knowledge of server capabilities). Non-prescient balancers ignore it.
+struct OracleView {
+  std::vector<double> file_set_demand;  // indexed by FileSetId
+  std::vector<double> server_speeds;    // indexed by ServerId; 0 = down
+};
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Registers the workload's file sets. Called once before the run; the
+  /// initial placement is computed here.
+  virtual void register_file_sets(
+      const std::vector<workload::FileSet>& file_sets) = 0;
+
+  /// Current placement of a file set. Must return an up server.
+  [[nodiscard]] virtual ServerId server_for(FileSetId id) const = 0;
+
+  /// Feedback from one server for the closing interval.
+  virtual void report(ServerId server, const ServerReport& report) = 0;
+
+  /// Oracle information for the upcoming interval (prescient systems only).
+  virtual void set_oracle(const OracleView& oracle) { (void)oracle; }
+
+  /// Runs one tuning round; returns the placement changes it made.
+  virtual RebalanceResult tune() = 0;
+
+  /// Membership changes. Implementations must immediately stop returning
+  /// the failed server from server_for (the paper's recovery semantics:
+  /// only the failed server's file sets move).
+  virtual RebalanceResult on_server_failed(ServerId id) = 0;
+  virtual RebalanceResult on_server_recovered(ServerId id) = 0;
+  /// A brand-new server (commissioning). Paper §4 treats it as recovery.
+  virtual RebalanceResult on_server_added(ServerId id) = 0;
+
+  /// Bytes of state that must be replicated to every cluster node for
+  /// addressing (paper §5.4's shared-state comparison).
+  [[nodiscard]] virtual std::size_t shared_state_bytes() const = 0;
+};
+
+/// Computes the moves implied by an old and a new placement vector.
+[[nodiscard]] RebalanceResult diff_placement(
+    const std::vector<ServerId>& before, const std::vector<ServerId>& after);
+
+}  // namespace anu::balance

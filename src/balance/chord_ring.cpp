@@ -1,0 +1,169 @@
+#include "balance/chord_ring.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace anu::balance {
+
+ChordRing::ChordRing(std::size_t node_count, std::uint64_t seed)
+    : family_(seed) {
+  ANU_REQUIRE(node_count > 0);
+  // Deterministic, well-spread positions; re-draw on (astronomically
+  // unlikely) duplicates so successor relationships are unambiguous.
+  SplitMix64 mixer(seed);
+  std::vector<std::uint64_t> positions;
+  positions.reserve(node_count);
+  while (positions.size() < node_count) {
+    const std::uint64_t p = mixer.next();
+    if (std::find(positions.begin(), positions.end(), p) == positions.end()) {
+      positions.push_back(p);
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  nodes_.resize(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    nodes_[i].position = positions[i];
+  }
+  rebuild_routing();
+}
+
+void ChordRing::rebuild_routing() {
+  sorted_positions_.clear();
+  sorted_positions_.reserve(nodes_.size());
+  for (const RingNode& node : nodes_) {
+    sorted_positions_.push_back(node.position);
+  }
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes_[i].successor = (i + 1) % n;
+    // Finger tables: finger[b] of node i = successor of position + 2^b.
+    nodes_[i].fingers.resize(64);
+    for (int b = 0; b < 64; ++b) {
+      const std::uint64_t target =
+          nodes_[i].position + (std::uint64_t{1} << b);  // wraps mod 2^64
+      nodes_[i].fingers[static_cast<std::size_t>(b)] = successor_of(target);
+    }
+  }
+}
+
+std::uint32_t ChordRing::add_node(std::uint64_t position, ServerId payload) {
+  for (const RingNode& node : nodes_) {
+    ANU_REQUIRE(node.position != position);  // positions are unique
+  }
+  RingNode joined;
+  joined.position = position;
+  joined.payload = payload;
+  const auto at = std::lower_bound(
+      nodes_.begin(), nodes_.end(), position,
+      [](const RingNode& node, std::uint64_t p) { return node.position < p; });
+  const auto index =
+      static_cast<std::uint32_t>(std::distance(nodes_.begin(), at));
+  nodes_.insert(at, std::move(joined));
+  rebuild_routing();
+  return index;
+}
+
+void ChordRing::remove_node(std::uint32_t node) {
+  ANU_REQUIRE(node < nodes_.size());
+  ANU_REQUIRE(nodes_.size() > 1);
+  nodes_.erase(nodes_.begin() + node);
+  rebuild_routing();
+}
+
+std::uint64_t ChordRing::position_of(std::uint32_t node) const {
+  ANU_REQUIRE(node < nodes_.size());
+  return nodes_[node].position;
+}
+
+std::uint32_t ChordRing::successor_of(std::uint64_t key) const {
+  // First node with position >= key, wrapping to node 0.
+  const auto it = std::lower_bound(sorted_positions_.begin(),
+                                   sorted_positions_.end(), key);
+  if (it == sorted_positions_.end()) return 0;
+  return static_cast<std::uint32_t>(it - sorted_positions_.begin());
+}
+
+RingLookup ChordRing::lookup_from(std::uint32_t start,
+                                  std::uint64_t key) const {
+  ANU_REQUIRE(start < nodes_.size());
+  RingLookup result;
+  if (nodes_.size() == 1) return result;  // a lone node owns every key
+  std::uint32_t current = start;
+  // Walk: while key is not owned by current's successor, jump to the
+  // farthest finger that does not overshoot the key. Classic Chord routing.
+  for (;;) {
+    const RingNode& node = nodes_[current];
+    const std::uint64_t gap = distance(node.position, key);
+    const RingNode& successor = nodes_[node.successor];
+    if (gap == 0) {
+      result.node = current;  // exact hit: current owns the key
+      return result;
+    }
+    if (distance(node.position, successor.position) >= gap) {
+      result.node = node.successor;  // successor covers the key
+      ++result.hops;
+      return result;
+    }
+    // Farthest finger strictly inside (position, key).
+    std::uint32_t next = node.successor;
+    for (int b = 63; b >= 0; --b) {
+      const std::uint32_t candidate =
+          node.fingers[static_cast<std::size_t>(b)];
+      const std::uint64_t reach =
+          distance(node.position, nodes_[candidate].position);
+      if (reach > 0 && reach < gap) {
+        next = candidate;
+        break;
+      }
+    }
+    ANU_ENSURE(next != current);  // progress or the ring is corrupt
+    current = next;
+    ++result.hops;
+  }
+}
+
+RingLookup ChordRing::lookup(std::string_view name) const {
+  return lookup_from(0, family_.raw(name, 0));
+}
+
+void ChordRing::set_payload(std::uint32_t node, ServerId payload) {
+  ANU_REQUIRE(node < nodes_.size());
+  nodes_[node].payload = payload;
+}
+
+ServerId ChordRing::payload(std::uint32_t node) const {
+  ANU_REQUIRE(node < nodes_.size());
+  return nodes_[node].payload;
+}
+
+std::size_t ChordRing::per_node_state_bytes() const {
+  // Successor (4) + payload (4) + the *distinct* finger entries (node
+  // index 4 + cached position 8 each): for small rings most of the 64
+  // powers of two resolve to the same few nodes, and a real implementation
+  // stores each once — this is how Chord's state is O(log n).
+  std::size_t distinct_total = 0;
+  for (const RingNode& node : nodes_) {
+    std::vector<std::uint32_t> targets = node.fingers;
+    std::sort(targets.begin(), targets.end());
+    distinct_total += static_cast<std::size_t>(
+        std::unique(targets.begin(), targets.end()) - targets.begin());
+  }
+  return 8 + (distinct_total / nodes_.size()) * 12;
+}
+
+void ChordRing::check_invariants() const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const RingNode& node = nodes_[i];
+    ANU_ENSURE(node.successor ==
+               (i + 1) % static_cast<std::uint32_t>(nodes_.size()));
+    for (int b = 0; b < 64; ++b) {
+      const std::uint64_t target = node.position + (std::uint64_t{1} << b);
+      ANU_ENSURE(node.fingers[static_cast<std::size_t>(b)] ==
+                 successor_of(target));
+    }
+  }
+}
+
+}  // namespace anu::balance

@@ -1,0 +1,101 @@
+// Chord-style consistent-hash ring with finger tables.
+//
+// Paper §5.4, footnote 1: "The addressing information [of virtual
+// processors] could also be implemented in the Chord-style ring [35] to
+// avoid replication at the expense of log(n) probes to the data
+// structure." This module implements that alternative so the shared-state
+// comparison can be made concrete: instead of replicating the full
+// VP -> server table at every node, each node keeps only its successor
+// list and an O(log n) finger table, and a lookup walks fingers in
+// O(log n) hops.
+//
+// The ring here is simulated in one address space — nodes are ring
+// positions, a "hop" is a finger-table indirection — which is exactly the
+// level of abstraction the footnote's tradeoff lives at: per-node state
+// (bytes) versus probes per lookup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "hash/hash_family.h"
+
+namespace anu::balance {
+
+/// One node's routing state in the ring.
+struct RingNode {
+  /// Position on the identifier circle (64-bit ring).
+  std::uint64_t position = 0;
+  /// The value this node stores (e.g. the server a VP maps to).
+  ServerId payload;
+  /// finger[i] = index (into the ring's node array) of the first node at
+  /// distance >= 2^i around the circle.
+  std::vector<std::uint32_t> fingers;
+  std::uint32_t successor = 0;
+};
+
+/// Result of a ring lookup.
+struct RingLookup {
+  /// Node index responsible for the key (its successor on the circle).
+  std::uint32_t node = 0;
+  /// Finger-table hops taken to reach it from the starting node.
+  std::uint32_t hops = 0;
+};
+
+class ChordRing {
+ public:
+  /// Builds a ring of `node_count` nodes with deterministic positions
+  /// derived from `seed`. Payloads start invalid; assign via set_payload.
+  ChordRing(std::size_t node_count, std::uint64_t seed = 0x63686f7264ULL);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Node responsible for `key` (the key's successor on the circle),
+  /// found by walking finger tables from `start`. Counts hops.
+  [[nodiscard]] RingLookup lookup_from(std::uint32_t start,
+                                       std::uint64_t key) const;
+  /// Convenience: lookup of a name from node 0.
+  [[nodiscard]] RingLookup lookup(std::string_view name) const;
+
+  /// Direct (oracle) successor computation — O(log n) binary search; used
+  /// to verify finger-walk correctness in tests.
+  [[nodiscard]] std::uint32_t successor_of(std::uint64_t key) const;
+
+  void set_payload(std::uint32_t node, ServerId payload);
+  [[nodiscard]] ServerId payload(std::uint32_t node) const;
+
+  /// Membership churn. Joining inserts a node at `position` (must be
+  /// unoccupied) and leaving removes one; both rebuild successor/finger
+  /// state. Consistent hashing's minimal-disruption property holds: a join
+  /// takes over exactly the keys in (predecessor, position], a leave hands
+  /// the departed node's keys to its successor, and no other key moves
+  /// (tested). Returns the new node's index.
+  std::uint32_t add_node(std::uint64_t position, ServerId payload = {});
+  void remove_node(std::uint32_t node);
+  [[nodiscard]] std::uint64_t position_of(std::uint32_t node) const;
+
+  /// Bytes of routing state ONE node keeps: successor + finger table
+  /// (position + index per entry). The footnote's tradeoff: O(log n) per
+  /// node instead of the O(n) replicated table.
+  [[nodiscard]] std::size_t per_node_state_bytes() const;
+
+  /// Verifies finger-table integrity (each finger is the true first node
+  /// at distance >= 2^i). Aborts on violation.
+  void check_invariants() const;
+
+ private:
+  [[nodiscard]] std::uint64_t distance(std::uint64_t from,
+                                       std::uint64_t to) const {
+    return to - from;  // mod 2^64 wrap-around is free on uint64
+  }
+  void rebuild_routing();
+
+  HashFamily family_;
+  std::vector<RingNode> nodes_;      // sorted by position
+  std::vector<std::uint64_t> sorted_positions_;
+};
+
+}  // namespace anu::balance

@@ -1,0 +1,37 @@
+#include "balance/linear_hashing.h"
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+LinearHashing::LinearHashing(std::size_t initial_buckets,
+                             std::uint64_t hash_seed)
+    : family_(hash_seed), initial_(initial_buckets) {
+  ANU_REQUIRE(initial_buckets > 0);
+}
+
+std::size_t LinearHashing::bucket_count() const {
+  return static_cast<std::size_t>(slots_at(level_)) + split_;
+}
+
+std::uint32_t LinearHashing::bucket_of(std::string_view key) const {
+  const std::uint64_t h = family_.raw(key, 0);
+  std::uint64_t bucket = h % slots_at(level_);
+  if (bucket < split_) {
+    bucket = h % slots_at(level_ + 1);  // already-split region: finer hash
+  }
+  return static_cast<std::uint32_t>(bucket);
+}
+
+std::uint32_t LinearHashing::add_bucket() {
+  const std::uint32_t split_bucket = split_;
+  ++split_;
+  if (split_ == slots_at(level_)) {
+    // A full doubling completed: advance the level, reset the pointer.
+    ++level_;
+    split_ = 0;
+  }
+  return split_bucket;
+}
+
+}  // namespace anu::balance

@@ -1,0 +1,61 @@
+// Linear hashing address scheme — the §4 contrast case.
+//
+// "Further partitioning the unit interval does not move any existing load
+// and does not change the hash functions that address load, as does linear
+// hashing [20]." (§4, citing Litwin's LH*.) This module implements the
+// classic linear hashing directory over servers-as-buckets so
+// bench/micro_elasticity can quantify that contrast: growing a linear-hash
+// ensemble splits one bucket at a time, rehashing (and moving) roughly half
+// of that bucket's keys at every split, whereas ANU's re-partitioning moves
+// nothing.
+//
+// Addressing: level L, split pointer p. A key's bucket is
+//   b = h(key) mod 2^L * N0;     if b < p: b = h(key) mod 2^(L+1) * N0
+// where N0 is the initial bucket count. add_bucket() splits bucket p by
+// switching its keys to the finer hash function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "hash/hash_family.h"
+
+namespace anu::balance {
+
+class LinearHashing {
+ public:
+  explicit LinearHashing(std::size_t initial_buckets,
+                         std::uint64_t hash_seed = 0x6c68ULL);
+
+  /// Current bucket (server) count.
+  [[nodiscard]] std::size_t bucket_count() const;
+
+  /// The bucket a key addresses to under the current (level, pointer).
+  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const;
+
+  /// Splits the next bucket, growing the ensemble by one. Returns the
+  /// bucket that was split (its keys rehash between it and the new last
+  /// bucket).
+  std::uint32_t add_bucket();
+
+  /// Addressing state a node must hold: level + split pointer + N0.
+  [[nodiscard]] static std::size_t shared_state_bytes() { return 24; }
+
+  [[nodiscard]] std::uint32_t level() const { return level_; }
+  [[nodiscard]] std::uint32_t split_pointer() const { return split_; }
+
+ private:
+  [[nodiscard]] std::uint64_t slots_at(std::uint32_t level) const {
+    return initial_ << level;
+  }
+
+  HashFamily family_;
+  std::uint64_t initial_;
+  std::uint32_t level_ = 0;
+  std::uint32_t split_ = 0;
+};
+
+}  // namespace anu::balance

@@ -1,0 +1,78 @@
+#include "balance/prescient.h"
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+PrescientBalancer::PrescientBalancer(std::size_t server_count,
+                                     AssignmentConfig assignment)
+    : server_count_(server_count),
+      assignment_(assignment),
+      speeds_(server_count, 1.0) {
+  ANU_REQUIRE(server_count > 0);
+}
+
+void PrescientBalancer::register_file_sets(
+    const std::vector<workload::FileSet>& file_sets) {
+  weights_.clear();
+  weights_.reserve(file_sets.size());
+  for (const auto& fs : file_sets) weights_.push_back(fs.weight);
+  // Balanced "from the very beginning, time 0" (§5.2.1): the initial
+  // placement already uses whatever oracle view is set (or the registered
+  // weights before the first set_oracle call).
+  if (demands_.size() != weights_.size()) demands_ = weights_;
+  placement_.assign(file_sets.size(), ServerId(0));
+  reassign();
+}
+
+ServerId PrescientBalancer::server_for(FileSetId id) const {
+  ANU_REQUIRE(id.value() < placement_.size());
+  return placement_[id.value()];
+}
+
+void PrescientBalancer::set_oracle(const OracleView& oracle) {
+  if (!oracle.file_set_demand.empty()) {
+    demands_ = oracle.file_set_demand;
+  }
+  if (!oracle.server_speeds.empty()) {
+    ANU_REQUIRE(oracle.server_speeds.size() >= speeds_.size());
+    speeds_ = oracle.server_speeds;
+    server_count_ = speeds_.size();
+  }
+}
+
+RebalanceResult PrescientBalancer::reassign() {
+  ANU_REQUIRE(demands_.size() == placement_.size());
+  const std::vector<ServerId> before = placement_;
+  placement_ = assign_min_latency(demands_, speeds_, assignment_);
+  return diff_placement(before, placement_);
+}
+
+RebalanceResult PrescientBalancer::tune() { return reassign(); }
+
+RebalanceResult PrescientBalancer::on_server_failed(ServerId id) {
+  ANU_REQUIRE(id.value() < speeds_.size() && speeds_[id.value()] > 0.0);
+  speeds_[id.value()] = 0.0;
+  return reassign();
+}
+
+RebalanceResult PrescientBalancer::on_server_recovered(ServerId id) {
+  ANU_REQUIRE(id.value() < speeds_.size());
+  // The oracle is expected to refresh speeds_ via set_oracle; recovery with
+  // no refresh restores unit speed so the server is at least schedulable.
+  if (speeds_[id.value()] <= 0.0) speeds_[id.value()] = 1.0;
+  return reassign();
+}
+
+RebalanceResult PrescientBalancer::on_server_added(ServerId id) {
+  // The oracle may already have grown the speed vector (the driver
+  // refreshes it from the cluster, which knows the new server first).
+  if (id.value() == speeds_.size()) {
+    speeds_.push_back(1.0);
+  }
+  ANU_REQUIRE(id.value() < speeds_.size());
+  server_count_ = speeds_.size();
+  return reassign();
+}
+
+}  // namespace anu::balance

@@ -1,0 +1,58 @@
+// Dynamic prescient — the upper-bound oracle system (§5.1).
+//
+// "Dynamic prescient realizes the optimal load balance through identifying
+// the permutation of file sets onto servers that minimizes average latency,
+// because it has perfect knowledge of server capabilities and workload
+// properties. It provides the upper bound of load balancing."
+//
+// The driver feeds it an OracleView before every tuning round: true
+// per-file-set demand for the *upcoming* interval (read ahead from the
+// workload schedule — knowledge no real system has) and true server speeds.
+// Each round recomputes the min-latency assignment from scratch; movement
+// cost is ignored, again an idealization in the paper's favor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "balance/assignment.h"
+#include "balance/balancer.h"
+
+namespace anu::balance {
+
+class PrescientBalancer final : public LoadBalancer {
+ public:
+  explicit PrescientBalancer(std::size_t server_count,
+                             AssignmentConfig assignment = {});
+
+  [[nodiscard]] std::string name() const override { return "dyn-prescient"; }
+
+  void register_file_sets(
+      const std::vector<workload::FileSet>& file_sets) override;
+  [[nodiscard]] ServerId server_for(FileSetId id) const override;
+  void report(ServerId, const ServerReport&) override {}
+  void set_oracle(const OracleView& oracle) override;
+  RebalanceResult tune() override;
+  RebalanceResult on_server_failed(ServerId id) override;
+  RebalanceResult on_server_recovered(ServerId id) override;
+  RebalanceResult on_server_added(ServerId id) override;
+
+  /// Prescient placement is an explicit file-set -> server table that every
+  /// node must replicate (the paper's §6 critique of bin-packing schemes):
+  /// 4 bytes per file set plus the speed vector.
+  [[nodiscard]] std::size_t shared_state_bytes() const override {
+    return placement_.size() * 4 + speeds_.size() * 8;
+  }
+
+ private:
+  RebalanceResult reassign();
+
+  std::size_t server_count_;
+  AssignmentConfig assignment_;
+  std::vector<double> speeds_;         // 0 = down
+  std::vector<double> demands_;        // upcoming-interval oracle, per file set
+  std::vector<double> weights_;        // registration-time fallback demands
+  std::vector<ServerId> placement_;
+};
+
+}  // namespace anu::balance

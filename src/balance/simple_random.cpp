@@ -1,0 +1,71 @@
+#include "balance/simple_random.h"
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+SimpleRandomBalancer::SimpleRandomBalancer(std::size_t server_count,
+                                           std::uint64_t hash_seed)
+    : family_(hash_seed), up_(server_count, true) {
+  ANU_REQUIRE(server_count > 0);
+}
+
+void SimpleRandomBalancer::register_file_sets(
+    const std::vector<workload::FileSet>& file_sets) {
+  names_.clear();
+  names_.reserve(file_sets.size());
+  for (const auto& fs : file_sets) names_.push_back(fs.name);
+  placement_ = resolve_all();
+}
+
+ServerId SimpleRandomBalancer::server_for(FileSetId id) const {
+  ANU_REQUIRE(id.value() < placement_.size());
+  return placement_[id.value()];
+}
+
+ServerId SimpleRandomBalancer::place(std::string_view name) const {
+  // Uniform over up servers; probes the family until the hash selects an up
+  // server so that membership changes move only the affected file sets
+  // (rendezvous-style stability is deliberately *not* used — the paper's
+  // baseline is plain uniform hashing).
+  std::size_t up_count = 0;
+  for (bool b : up_) up_count += b ? 1 : 0;
+  ANU_REQUIRE(up_count > 0);
+  for (std::uint32_t r = 0;; ++r) {
+    const auto pick = family_.raw(name, r) % up_.size();
+    if (up_[pick]) return ServerId(static_cast<std::uint32_t>(pick));
+  }
+}
+
+std::vector<ServerId> SimpleRandomBalancer::resolve_all() const {
+  std::vector<ServerId> placed;
+  placed.reserve(names_.size());
+  for (const std::string& name : names_) placed.push_back(place(name));
+  return placed;
+}
+
+RebalanceResult SimpleRandomBalancer::reresolve() {
+  const std::vector<ServerId> before = placement_;
+  placement_ = resolve_all();
+  return diff_placement(before, placement_);
+}
+
+RebalanceResult SimpleRandomBalancer::on_server_failed(ServerId id) {
+  ANU_REQUIRE(id.value() < up_.size() && up_[id.value()]);
+  up_[id.value()] = false;
+  return reresolve();
+}
+
+RebalanceResult SimpleRandomBalancer::on_server_recovered(ServerId id) {
+  ANU_REQUIRE(id.value() < up_.size() && !up_[id.value()]);
+  up_[id.value()] = true;
+  return reresolve();
+}
+
+RebalanceResult SimpleRandomBalancer::on_server_added(ServerId id) {
+  ANU_REQUIRE(id.value() == up_.size());
+  up_.push_back(true);
+  return reresolve();
+}
+
+}  // namespace anu::balance

@@ -1,0 +1,57 @@
+// Simple hash-based randomization — the static baseline (§5.1).
+//
+// "Simple randomization employs a pseudo-random hash function to uniformly
+// assign file sets to servers, allowing us to compare our system with
+// static, offline randomized policies used in heterogeneous clusters."
+//
+// Placement is a single hash of the file-set name mapped uniformly over the
+// up servers. It never reacts to load (tune() is a no-op), which is exactly
+// the pathology Figs. 5/6 demonstrate: it "is a static algorithm and assumes
+// homogeneity in server capabilities", so the weakest server's latency
+// diverges. Failure/recovery re-hashes only as needed to keep every file
+// set on an up server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "balance/balancer.h"
+#include "hash/hash_family.h"
+
+namespace anu::balance {
+
+class SimpleRandomBalancer final : public LoadBalancer {
+ public:
+  SimpleRandomBalancer(std::size_t server_count,
+                       std::uint64_t hash_seed = 0x73696d706c65ULL);
+
+  [[nodiscard]] std::string name() const override { return "simple-random"; }
+
+  void register_file_sets(
+      const std::vector<workload::FileSet>& file_sets) override;
+  [[nodiscard]] ServerId server_for(FileSetId id) const override;
+  void report(ServerId, const ServerReport&) override {}
+  RebalanceResult tune() override { return {}; }
+  RebalanceResult on_server_failed(ServerId id) override;
+  RebalanceResult on_server_recovered(ServerId id) override;
+  RebalanceResult on_server_added(ServerId id) override;
+
+  /// Addressing is pure hashing over the up-server list; the shared state
+  /// is just that membership list (4 bytes per server).
+  [[nodiscard]] std::size_t shared_state_bytes() const override {
+    return up_.size() * 4;
+  }
+
+ private:
+  [[nodiscard]] ServerId place(std::string_view name) const;
+  [[nodiscard]] std::vector<ServerId> resolve_all() const;
+  RebalanceResult reresolve();
+
+  HashFamily family_;
+  std::vector<bool> up_;
+  std::vector<std::string> names_;
+  std::vector<ServerId> placement_;
+};
+
+}  // namespace anu::balance

@@ -1,0 +1,104 @@
+#include "balance/virtual_processor.h"
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+VirtualProcessorBalancer::VirtualProcessorBalancer(
+    const VirtualProcessorConfig& config, std::size_t server_count)
+    : config_(config),
+      family_(config.hash_seed),
+      speeds_(server_count, 1.0),
+      vp_to_server_(server_count * config.vp_per_server, ServerId(0)) {
+  ANU_REQUIRE(server_count > 0);
+  ANU_REQUIRE(config.vp_per_server > 0);
+}
+
+void VirtualProcessorBalancer::register_file_sets(
+    const std::vector<workload::FileSet>& file_sets) {
+  file_set_vp_.clear();
+  file_set_vp_.reserve(file_sets.size());
+  for (const auto& fs : file_sets) {
+    // Static uniform hash of the file-set name into the VP space.
+    const auto vp = family_.raw(fs.name, 0) % vp_to_server_.size();
+    file_set_vp_.push_back(VpId(static_cast<std::uint32_t>(vp)));
+  }
+  if (demands_.size() != file_sets.size()) {
+    demands_.clear();
+    demands_.reserve(file_sets.size());
+    for (const auto& fs : file_sets) demands_.push_back(fs.weight);
+  }
+  placement_.assign(file_sets.size(), ServerId(0));
+  remap();
+}
+
+ServerId VirtualProcessorBalancer::server_for(FileSetId id) const {
+  ANU_REQUIRE(id.value() < placement_.size());
+  return placement_[id.value()];
+}
+
+VpId VirtualProcessorBalancer::vp_of(FileSetId id) const {
+  ANU_REQUIRE(id.value() < file_set_vp_.size());
+  return file_set_vp_[id.value()];
+}
+
+void VirtualProcessorBalancer::set_oracle(const OracleView& oracle) {
+  if (!oracle.file_set_demand.empty()) demands_ = oracle.file_set_demand;
+  if (!oracle.server_speeds.empty()) {
+    ANU_REQUIRE(oracle.server_speeds.size() >= speeds_.size());
+    speeds_ = oracle.server_speeds;
+  }
+}
+
+std::vector<double> VirtualProcessorBalancer::vp_demands() const {
+  std::vector<double> vp_demand(vp_to_server_.size(), 0.0);
+  for (std::size_t fs = 0; fs < file_set_vp_.size(); ++fs) {
+    vp_demand[file_set_vp_[fs].value()] += demands_[fs];
+  }
+  return vp_demand;
+}
+
+RebalanceResult VirtualProcessorBalancer::remap() {
+  ANU_REQUIRE(demands_.size() == file_set_vp_.size());
+  const std::vector<ServerId> before = placement_;
+  vp_to_server_ =
+      config_.policy == VpMappingPolicy::kCapacityProportional
+          ? assign_capacity_proportional(vp_demands(), speeds_)
+          : assign_min_latency(vp_demands(), speeds_, config_.assignment);
+  placement_.resize(file_set_vp_.size());
+  for (std::size_t fs = 0; fs < file_set_vp_.size(); ++fs) {
+    placement_[fs] = vp_to_server_[file_set_vp_[fs].value()];
+  }
+  if (before.size() != placement_.size()) return {};
+  return diff_placement(before, placement_);
+}
+
+RebalanceResult VirtualProcessorBalancer::tune() { return remap(); }
+
+RebalanceResult VirtualProcessorBalancer::on_server_failed(ServerId id) {
+  ANU_REQUIRE(id.value() < speeds_.size() && speeds_[id.value()] > 0.0);
+  speeds_[id.value()] = 0.0;
+  return remap();
+}
+
+RebalanceResult VirtualProcessorBalancer::on_server_recovered(ServerId id) {
+  ANU_REQUIRE(id.value() < speeds_.size());
+  if (speeds_[id.value()] <= 0.0) speeds_[id.value()] = 1.0;
+  return remap();
+}
+
+RebalanceResult VirtualProcessorBalancer::on_server_added(ServerId id) {
+  // The oracle may already have grown the speed vector (driver refreshes
+  // it from the cluster before notifying the balancer).
+  if (id.value() == speeds_.size()) {
+    speeds_.push_back(1.0);
+  }
+  ANU_REQUIRE(id.value() < speeds_.size());
+  // The VP population is sized N*v at construction; adding servers does not
+  // re-shard file sets (that is the point of VPs), the new server simply
+  // becomes a mapping target. VP count staying fixed mirrors Kale et al.'s
+  // virtualization model.
+  return remap();
+}
+
+}  // namespace anu::balance

@@ -1,0 +1,95 @@
+// Virtual-processor load balancing — the main comparison system (§5.1, §5.4).
+//
+// "The virtual processor system first randomly distributes file sets into
+// N*v virtual processors where N is the number of physical servers and v is
+// a scaling factor chosen from interval [1,10] ... By default, we set the
+// value of v to 5. The system then utilizes perfect knowledge about server
+// capabilities and virtual processor workload characteristics to map
+// virtual processors to servers in a way that minimizes average latency.
+// This mapping procedure is similar to that in dynamic prescient except
+// that the workload assignment and movement unit is now virtual processor
+// instead of file set."
+//
+// The file-set -> VP map is a static hash (uniform); the VP -> server map is
+// recomputed prescient each round over per-VP demand (sum of member file-set
+// oracle demand). Shared state is the per-VP address table — the cost §5.4
+// charges against this design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "balance/assignment.h"
+#include "balance/balancer.h"
+#include "hash/hash_family.h"
+
+namespace anu::balance {
+
+/// How virtual processors are mapped onto servers each round.
+enum class VpMappingPolicy {
+  /// Each server hosts a VP count proportional to its capacity; the
+  /// heaviest VPs go to the fastest servers within those quotas. This is
+  /// the classic VP discipline and reproduces the paper's granularity
+  /// penalty: with few VPs the count quantization cannot match capacities
+  /// (e.g. a 4%-capacity server must hold 0 or 1 of 5 VPs).
+  kCapacityProportional,
+  /// Unconstrained min-latency packing (LPT + local search) — a stronger,
+  /// modern mapper that may leave weak servers empty; kept for comparison
+  /// (see bench/ablation_tuner and EXPERIMENTS.md).
+  kMinLatency,
+};
+
+struct VirtualProcessorConfig {
+  /// v: virtual processors per physical server (paper default 5).
+  std::size_t vp_per_server = 5;
+  VpMappingPolicy policy = VpMappingPolicy::kCapacityProportional;
+  std::uint64_t hash_seed = 0x76705f68617368ULL;
+  AssignmentConfig assignment;
+  /// Bytes of replicated address state per virtual processor. A VP's
+  /// address record is its id, current server, and endpoint information —
+  /// 16 bytes is a lean encoding (§5.4 footnote: a Chord-style ring could
+  /// trade this for log(n) probes).
+  std::size_t bytes_per_vp = 16;
+};
+
+class VirtualProcessorBalancer final : public LoadBalancer {
+ public:
+  VirtualProcessorBalancer(const VirtualProcessorConfig& config,
+                           std::size_t server_count);
+
+  [[nodiscard]] std::string name() const override {
+    return "virtual-processor(v=" + std::to_string(config_.vp_per_server) +
+           ")";
+  }
+
+  void register_file_sets(
+      const std::vector<workload::FileSet>& file_sets) override;
+  [[nodiscard]] ServerId server_for(FileSetId id) const override;
+  void report(ServerId, const ServerReport&) override {}
+  void set_oracle(const OracleView& oracle) override;
+  RebalanceResult tune() override;
+  RebalanceResult on_server_failed(ServerId id) override;
+  RebalanceResult on_server_recovered(ServerId id) override;
+  RebalanceResult on_server_added(ServerId id) override;
+  [[nodiscard]] std::size_t shared_state_bytes() const override {
+    return vp_to_server_.size() * config_.bytes_per_vp;
+  }
+
+  [[nodiscard]] std::size_t vp_count() const { return vp_to_server_.size(); }
+  [[nodiscard]] VpId vp_of(FileSetId id) const;
+
+ private:
+  RebalanceResult remap();
+  [[nodiscard]] std::vector<double> vp_demands() const;
+
+  VirtualProcessorConfig config_;
+  HashFamily family_;
+  std::vector<double> speeds_;          // 0 = down
+  std::vector<VpId> file_set_vp_;       // static hash map
+  std::vector<ServerId> vp_to_server_;  // the replicated table
+  std::vector<double> demands_;         // oracle per file set
+  std::vector<ServerId> placement_;     // derived: per file set
+};
+
+}  // namespace anu::balance

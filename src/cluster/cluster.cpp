@@ -1,0 +1,80 @@
+#include "cluster/cluster.h"
+
+#include "common/assert.h"
+
+namespace anu::cluster {
+
+ClusterConfig paper_cluster() { return ClusterConfig{}; }
+
+Cluster::Cluster(sim::Simulation& simulation, const ClusterConfig& config)
+    : sim_(simulation), cache_(config.cache) {
+  ANU_REQUIRE(!config.server_speeds.empty());
+  for (double speed : config.server_speeds) add_server(speed);
+}
+
+std::size_t Cluster::up_count() const {
+  std::size_t n = 0;
+  for (const auto& s : servers_) n += s->is_up() ? 1u : 0u;
+  return n;
+}
+
+Server& Cluster::server(ServerId id) {
+  ANU_REQUIRE(id.value() < servers_.size());
+  return *servers_[id.value()];
+}
+
+const Server& Cluster::server(ServerId id) const {
+  ANU_REQUIRE(id.value() < servers_.size());
+  return *servers_[id.value()];
+}
+
+double Cluster::total_capacity() const {
+  double sum = 0.0;
+  for (const auto& s : servers_) {
+    if (s->is_up()) sum += s->speed();
+  }
+  return sum;
+}
+
+std::vector<double> Cluster::up_speeds() const {
+  std::vector<double> speeds;
+  speeds.reserve(servers_.size());
+  for (const auto& s : servers_) speeds.push_back(s->is_up() ? s->speed() : 0.0);
+  return speeds;
+}
+
+void Cluster::submit(ServerId to, FileSetId file_set, double demand,
+                     SimTime arrival) {
+  server(to).submit(file_set, demand, arrival);
+}
+
+std::size_t Cluster::migrate_queued(FileSetId file_set, ServerId from,
+                                    ServerId to) {
+  Server& source = server(from);
+  if (!source.is_up()) return 0;  // failure already flushed its queue
+  source.evict(file_set);  // shedding server flushes its cache (§5.3)
+  const auto pending = source.extract_queued(file_set);
+  for (const auto& request : pending) {
+    server(to).submit(file_set, request.demand, request.arrival);
+  }
+  return pending.size();
+}
+
+ServerId Cluster::add_server(double speed) {
+  const auto id = ServerId(static_cast<std::uint32_t>(servers_.size()));
+  auto s = std::make_unique<Server>(sim_, id, speed, cache_);
+  s->on_complete = [this](const Completion& c) {
+    if (on_complete) on_complete(c);
+  };
+  s->on_flush = [this](FileSetId fs, double demand) {
+    if (on_flush) on_flush(fs, demand);
+  };
+  servers_.push_back(std::move(s));
+  return id;
+}
+
+void Cluster::fail_server(ServerId id) { server(id).fail(); }
+
+void Cluster::recover_server(ServerId id) { server(id).recover(); }
+
+}  // namespace anu::cluster

@@ -1,0 +1,45 @@
+#include "cluster/failure_schedule.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace anu::cluster {
+
+FailureSchedule::FailureSchedule(std::vector<MembershipEvent> events)
+    : events_(std::move(events)) {
+  ANU_REQUIRE(std::is_sorted(events_.begin(), events_.end(),
+                             [](const MembershipEvent& a,
+                                const MembershipEvent& b) {
+                               return a.when < b.when;
+                             }));
+}
+
+void FailureSchedule::add(MembershipEvent event) {
+  ANU_REQUIRE(events_.empty() || event.when >= events_.back().when);
+  events_.push_back(event);
+}
+
+FailureSchedule FailureSchedule::random_fail_recover(std::uint64_t seed,
+                                                     std::size_t server_count,
+                                                     std::size_t rounds,
+                                                     SimTime horizon,
+                                                     SimTime downtime) {
+  ANU_REQUIRE(server_count > 1);
+  ANU_REQUIRE(rounds > 0);
+  const SimTime window = horizon / static_cast<double>(rounds);
+  ANU_REQUIRE(window > downtime * 2.0);
+  Xoshiro256 rng(seed);
+  FailureSchedule schedule;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto victim =
+        ServerId(static_cast<std::uint32_t>(rng.next_below(server_count)));
+    const SimTime start = window * static_cast<double>(r) +
+                          rng.next_double() * (window - 2.0 * downtime);
+    schedule.add({start, MembershipAction::kFail, victim, 0.0});
+    schedule.add({start + downtime, MembershipAction::kRecover, victim, 0.0});
+  }
+  return schedule;
+}
+
+}  // namespace anu::cluster

@@ -1,0 +1,53 @@
+// Scripted and randomized failure/recovery injection.
+//
+// Paper §4: "ANU randomization performs well when servers fail or recover,
+// or when servers are installed or removed". The elasticity experiments and
+// the fault-injection tests drive membership changes through this schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace anu::cluster {
+
+enum class MembershipAction { kFail, kRecover, kAdd, kRemove };
+
+struct MembershipEvent {
+  SimTime when = 0.0;
+  MembershipAction action = MembershipAction::kFail;
+  /// Target server for fail/recover/remove; ignored for add.
+  ServerId server;
+  /// Speed of the server being added; ignored otherwise.
+  double speed = 1.0;
+};
+
+/// A time-ordered script of membership changes.
+class FailureSchedule {
+ public:
+  FailureSchedule() = default;
+  explicit FailureSchedule(std::vector<MembershipEvent> events);
+
+  [[nodiscard]] const std::vector<MembershipEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  void add(MembershipEvent event);
+
+  /// Generates a random fail-then-recover schedule: each of `rounds` rounds
+  /// picks a random server from [0, server_count), fails it at a random time
+  /// in its round's window and recovers it `downtime` later. Servers are
+  /// never concurrently down (rounds are disjoint windows).
+  static FailureSchedule random_fail_recover(std::uint64_t seed,
+                                             std::size_t server_count,
+                                             std::size_t rounds,
+                                             SimTime horizon, SimTime downtime);
+
+ private:
+  std::vector<MembershipEvent> events_;
+};
+
+}  // namespace anu::cluster

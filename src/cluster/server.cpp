@@ -1,0 +1,82 @@
+#include "cluster/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace anu::cluster {
+
+Server::Server(sim::Simulation& simulation, ServerId id, double speed,
+               const CacheConfig& cache)
+    : id_(id),
+      resource_(simulation, speed, "server" + std::to_string(id.value())),
+      cache_(cache) {
+  ANU_REQUIRE(cache_.cold_penalty_factor >= 1.0);
+  ANU_REQUIRE(!cache_.enabled || cache_.warmup_requests > 0);
+  resource_.on_flush = [this](const sim::Job& job) {
+    if (on_flush) {
+      on_flush(FileSetId(static_cast<std::uint32_t>(job.tag)), job.demand);
+    }
+  };
+}
+
+double Server::cache_factor(FileSetId file_set) const {
+  if (!cache_.enabled) return 1.0;
+  return cache_.cold_penalty_factor -
+         (cache_.cold_penalty_factor - 1.0) * warmth(file_set);
+}
+
+double Server::warmth(FileSetId file_set) const {
+  if (!cache_.enabled) return 1.0;
+  const auto it = cache_hits_.find(file_set.value());
+  if (it == cache_hits_.end()) return 0.0;
+  return std::min(1.0, static_cast<double>(it->second) /
+                           static_cast<double>(cache_.warmup_requests));
+}
+
+void Server::evict(FileSetId file_set) { cache_hits_.erase(file_set.value()); }
+
+void Server::submit(FileSetId file_set, double demand, SimTime arrival) {
+  ANU_REQUIRE(is_up());
+  sim::Job job;
+  job.demand = demand * cache_factor(file_set);
+  if (cache_.enabled) ++cache_hits_[file_set.value()];
+  job.tag = file_set.value();
+  job.arrival = arrival;
+  job.on_complete = [this](SimTime when, const sim::Job& done) {
+    const Completion c{id_, FileSetId(static_cast<std::uint32_t>(done.tag)),
+                       done.arrival, when};
+    interval_.add(c.latency());
+    lifetime_.add(c.latency());
+    if (on_complete) on_complete(c);
+  };
+  resource_.submit(std::move(job));
+}
+
+std::vector<Server::QueuedRequest> Server::extract_queued(FileSetId file_set) {
+  const auto jobs = resource_.extract_queued([&](const sim::Job& job) {
+    return job.tag == file_set.value();
+  });
+  std::vector<QueuedRequest> out;
+  out.reserve(jobs.size());
+  for (const sim::Job& job : jobs) {
+    out.push_back(QueuedRequest{file_set, job.demand, job.arrival});
+  }
+  return out;
+}
+
+Server::IntervalReport Server::take_interval_report() {
+  IntervalReport report{interval_.mean(), interval_.count()};
+  interval_.reset();
+  return report;
+}
+
+void Server::fail() {
+  resource_.fail();
+  cache_hits_.clear();  // a restarted server comes back cold
+}
+
+void Server::recover() { resource_.recover(); }
+
+}  // namespace anu::cluster

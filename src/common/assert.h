@@ -1,0 +1,29 @@
+// Lightweight contract-checking macros used across libanu.
+//
+// ANU_REQUIRE is always on (it guards invariants the simulator's correctness
+// depends on, e.g. the half-occupancy invariant of the unit interval); the
+// cost is a predictable branch, negligible next to event processing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace anu::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "libanu %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace anu::detail
+
+#define ANU_REQUIRE(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::anu::detail::contract_failure("precondition", #expr,         \
+                                            __FILE__, __LINE__))
+
+#define ANU_ENSURE(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::anu::detail::contract_failure("invariant", #expr,            \
+                                            __FILE__, __LINE__))

@@ -1,0 +1,28 @@
+// Minimal leveled logging for the library.
+//
+// Simulation code must never log on hot paths; logging exists for the
+// delegate/tuning layer (round summaries, incompetent-server notifications,
+// paper §5.2.2) and for the harnesses. Global level, off-by-default debug.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace anu {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging. Thread-safe (single global mutex; logging is cold).
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace anu
+
+#define ANU_LOG_DEBUG(...) ::anu::log_message(::anu::LogLevel::kDebug, __VA_ARGS__)
+#define ANU_LOG_INFO(...) ::anu::log_message(::anu::LogLevel::kInfo, __VA_ARGS__)
+#define ANU_LOG_WARN(...) ::anu::log_message(::anu::LogLevel::kWarn, __VA_ARGS__)
+#define ANU_LOG_ERROR(...) ::anu::log_message(::anu::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the reproduction (workload synthesis,
+// hashing variance experiments, failure injection) draws from generators
+// seeded explicitly through experiment configs, so every figure harness is
+// bit-reproducible. We implement the generators ourselves rather than rely
+// on std::mt19937 so the stream is stable across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace anu {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used to expand a single user seed
+/// into full generator state and as a cheap stateless mixer.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit finalizer (the SplitMix64 output function). Useful when a
+/// pure function of an integer is needed, e.g. per-item jitter.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). The workhorse generator: fast,
+/// 256-bit state, passes BigCrush. Satisfies std::uniform_random_bit_engine.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Advances the stream by 2^128 steps; used to derive independent
+  /// sub-streams (one per file set, per server, ...) from one seed.
+  void jump();
+
+  /// Convenience: an independent sub-stream for entity `index`.
+  [[nodiscard]] static Xoshiro256 substream(std::uint64_t seed,
+                                            std::uint64_t index);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Lemire's method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace anu

@@ -1,0 +1,106 @@
+// Streaming statistics used by the metrics layer and the figure harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace anu {
+
+/// Welford's online mean/variance. Numerically stable; O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (n in the denominator) — what the paper's stddev
+  /// error bars use over full request populations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket linear histogram with overflow bucket; supports quantile
+/// estimation good enough for latency reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  /// Linear-interpolated quantile, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;  // last bucket holds >= hi overflow
+  std::size_t total_ = 0;
+};
+
+/// Logarithmically-bucketed histogram for long-tailed positive values
+/// (latencies spanning milliseconds to hours). Relative quantile error is
+/// bounded by the per-decade resolution; O(1) add, O(buckets) quantile.
+class LogHistogram {
+ public:
+  /// Buckets span [min_value, max_value] with `buckets_per_decade`
+  /// subdivisions per power of ten. Values outside clamp to the ends.
+  LogHistogram(double min_value = 1e-4, double max_value = 1e5,
+               std::size_t buckets_per_decade = 20);
+
+  void add(double x);
+  void merge(const LogHistogram& other);
+  [[nodiscard]] std::size_t count() const { return total_; }
+  /// Quantile estimate (geometric midpoint of the selected bucket).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double x) const;
+
+  double log_min_;
+  double per_decade_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// (time, value) series with windowed-mean reduction — the building block
+/// for the latency-over-time curves in Figs. 4 and 5.
+class TimeSeries {
+ public:
+  struct Point {
+    double time;
+    double value;
+  };
+
+  void add(double time, double value);
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  /// Means of values falling in consecutive windows of `window` time units
+  /// covering [0, horizon). Windows with no samples repeat NaN-free: they
+  /// carry the previous window's mean (or 0 before any sample), matching how
+  /// an idle server's latency curve is drawn flat in the paper's figures.
+  [[nodiscard]] std::vector<Point> windowed_mean(double window,
+                                                 double horizon) const;
+
+ private:
+  std::vector<Point> points_;  // in non-decreasing time order (enforced)
+};
+
+}  // namespace anu

@@ -1,0 +1,41 @@
+// Plain-text table and CSV emission for the figure harnesses.
+//
+// Every bench binary prints the same rows/series the paper's figure shows,
+// as an aligned text table for humans plus optional CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace anu {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows: formats each double with `precision`.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Aligned, boxed text rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed: cells never contain commas here).
+  void write_csv(std::ostream& os) const;
+  /// Writes CSV to a file path; returns false on I/O failure.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for harness code).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+}  // namespace anu

@@ -1,0 +1,53 @@
+// Strong identifier and time types shared by every libanu module.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace anu {
+
+/// Simulated time in seconds. The DES engine treats time as a continuous
+/// double; the workload generators and tuning intervals all speak seconds.
+using SimTime = double;
+
+/// Tag-dispatched strong integer id. Prevents accidentally mixing a server
+/// index with a file-set index (both are small dense integers).
+template <class Tag>
+class StrongId {
+ public:
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalidValue =
+      std::numeric_limits<underlying>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying v) : v_(v) {}
+
+  [[nodiscard]] constexpr underlying value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalidValue; }
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  underlying v_ = kInvalidValue;
+};
+
+struct ServerTag {};
+struct FileSetTag {};
+struct VirtualProcessorTag {};
+
+using ServerId = StrongId<ServerTag>;
+using FileSetId = StrongId<FileSetTag>;
+using VpId = StrongId<VirtualProcessorTag>;
+
+}  // namespace anu
+
+template <class Tag>
+struct std::hash<anu::StrongId<Tag>> {
+  std::size_t operator()(const anu::StrongId<Tag>& id) const noexcept {
+    return std::hash<typename anu::StrongId<Tag>::underlying>{}(id.value());
+  }
+};

@@ -1,0 +1,53 @@
+#include "common/unit_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace anu {
+
+UnitPoint UnitPoint::from_double(double x) {
+  if (x <= 0.0) return zero();
+  if (x >= 1.0) return one();
+  // 2^63 as a double is exact; the product fits raw_type after the bounds
+  // check above.
+  const double scaled = x * 9223372036854775808.0;  // 2^63
+  return UnitPoint(static_cast<raw_type>(scaled));
+}
+
+double UnitPoint::to_double() const {
+  return static_cast<double>(v_) / 9223372036854775808.0;  // 2^63
+}
+
+UnitPoint UnitPoint::scaled(std::uint64_t num, std::uint64_t den) const {
+  ANU_REQUIRE(den != 0);
+  ANU_REQUIRE(num <= den);
+  using u128 = unsigned __int128;
+  const u128 prod = static_cast<u128>(v_) * num + den / 2;
+  return UnitPoint(static_cast<raw_type>(prod / den));
+}
+
+UnitPoint UnitPoint::scaled_by(double factor) const {
+  ANU_REQUIRE(factor >= 0.0);
+  const double scaled = static_cast<double>(v_) * factor;
+  if (scaled >= static_cast<double>(kOneRaw)) return one();
+  return UnitPoint(static_cast<raw_type>(scaled));
+}
+
+std::string UnitPoint::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9f", to_double());
+  return buf;
+}
+
+std::string UnitSegment::to_string() const {
+  return "[" + begin.to_string() + ", " + end.to_string() + ")";
+}
+
+UnitPoint intersection_length(const UnitSegment& a, const UnitSegment& b) {
+  const UnitPoint lo = std::max(a.begin, b.begin);
+  const UnitPoint hi = std::min(a.end, b.end);
+  return lo < hi ? hi.minus(lo) : UnitPoint::zero();
+}
+
+}  // namespace anu

@@ -1,0 +1,112 @@
+// Fixed-point arithmetic on the unit interval [0, 1].
+//
+// ANU randomization hashes workload names to offsets in a unit interval and
+// assigns servers non-overlapping sub-regions of it (paper §4). Region
+// boundaries must be *exact* — the half-occupancy invariant and partition
+// boundaries are equality checks, and floating point would drift under the
+// repeated scaling the delegate performs. We therefore represent a point in
+// [0, 1] as a 63-bit fixed-point fraction: raw value v means v / 2^63.
+//
+// 2^63 (not 2^64) so that 1.0 itself is representable in a uint64_t, which
+// lets half-open segments end exactly at the top of the interval.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "common/assert.h"
+
+namespace anu {
+
+class UnitPoint {
+ public:
+  using raw_type = std::uint64_t;
+  /// Raw representation of 1.0.
+  static constexpr raw_type kOneRaw = raw_type{1} << 63;
+
+  constexpr UnitPoint() = default;
+
+  /// Constructs from a raw 63-bit fraction. Must be <= kOneRaw.
+  static constexpr UnitPoint from_raw(raw_type raw) {
+    ANU_REQUIRE(raw <= kOneRaw);
+    return UnitPoint(raw);
+  }
+
+  /// Maps a full-width 64-bit hash value to [0, 1). Uses the top 63 bits so
+  /// that well-mixed high bits dominate.
+  static constexpr UnitPoint from_hash(std::uint64_t h) {
+    return UnitPoint(h >> 1);
+  }
+
+  /// Converts from a double in [0, 1]; saturates at the ends.
+  static UnitPoint from_double(double x);
+
+  static constexpr UnitPoint zero() { return UnitPoint(0); }
+  static constexpr UnitPoint one() { return UnitPoint(kOneRaw); }
+
+  [[nodiscard]] constexpr raw_type raw() const { return v_; }
+  [[nodiscard]] double to_double() const;
+
+  constexpr auto operator<=>(const UnitPoint&) const = default;
+
+  /// Sum of two points; asserts the result stays inside [0, 1].
+  [[nodiscard]] constexpr UnitPoint plus(UnitPoint d) const {
+    ANU_REQUIRE(v_ <= kOneRaw - d.v_);
+    return UnitPoint(v_ + d.v_);
+  }
+
+  /// Difference; asserts *this >= d.
+  [[nodiscard]] constexpr UnitPoint minus(UnitPoint d) const {
+    ANU_REQUIRE(v_ >= d.v_);
+    return UnitPoint(v_ - d.v_);
+  }
+
+  /// Exact fraction of this length: (*this) * num / den, rounded to nearest.
+  /// Used when the delegate splits a total occupancy among servers.
+  [[nodiscard]] UnitPoint scaled(std::uint64_t num, std::uint64_t den) const;
+
+  /// Multiplies this length by a non-negative double factor, saturating at 1.
+  [[nodiscard]] UnitPoint scaled_by(double factor) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit UnitPoint(raw_type raw) : v_(raw) {}
+  raw_type v_ = 0;
+};
+
+/// Half-open segment [begin, end) of the unit interval.
+struct UnitSegment {
+  UnitPoint begin;
+  UnitPoint end;
+
+  constexpr UnitSegment() = default;
+  constexpr UnitSegment(UnitPoint b, UnitPoint e) : begin(b), end(e) {
+    ANU_REQUIRE(b <= e);
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return begin == end; }
+  [[nodiscard]] constexpr UnitPoint length() const { return end.minus(begin); }
+  [[nodiscard]] constexpr bool contains(UnitPoint p) const {
+    return begin <= p && p < end;
+  }
+  /// True if the two segments share any point.
+  [[nodiscard]] constexpr bool overlaps(const UnitSegment& o) const {
+    return begin < o.end && o.begin < end;
+  }
+  /// True if `o` is fully inside this segment.
+  [[nodiscard]] constexpr bool covers(const UnitSegment& o) const {
+    return begin <= o.begin && o.end <= end;
+  }
+
+  constexpr bool operator==(const UnitSegment&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Length of intersection of two segments (zero if disjoint).
+[[nodiscard]] UnitPoint intersection_length(const UnitSegment& a,
+                                            const UnitSegment& b);
+
+}  // namespace anu

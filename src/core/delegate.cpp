@@ -1,0 +1,39 @@
+#include "core/delegate.h"
+
+#include "common/assert.h"
+
+namespace anu::core {
+
+DelegateElection::DelegateElection(std::size_t server_count)
+    : up_(server_count, true) {
+  ANU_REQUIRE(server_count > 0);
+}
+
+ServerId DelegateElection::current() const {
+  for (std::uint32_t s = 0; s < up_.size(); ++s) {
+    if (up_[s]) return ServerId(s);
+  }
+  return ServerId::invalid();  // whole cluster down
+}
+
+void DelegateElection::on_server_failed(ServerId id) {
+  ANU_REQUIRE(id.value() < up_.size());
+  ANU_REQUIRE(up_[id.value()]);
+  up_[id.value()] = false;
+}
+
+void DelegateElection::on_server_recovered(ServerId id) {
+  ANU_REQUIRE(id.value() < up_.size());
+  ANU_REQUIRE(!up_[id.value()]);
+  up_[id.value()] = true;
+}
+
+void DelegateElection::on_server_added() { up_.push_back(true); }
+
+std::size_t DelegateElection::up_count() const {
+  std::size_t n = 0;
+  for (bool b : up_) n += b ? 1 : 0;
+  return n;
+}
+
+}  // namespace anu::core

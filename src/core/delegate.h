@@ -1,0 +1,43 @@
+// Delegate election.
+//
+// Paper §4: per-interval latency reports go "to an elected delegate
+// server. ... The delegate is designed to be stateless and determines the
+// new load configuration based solely on reported latencies. If the
+// delegate fails, the next elected delegate runs the same protocol with
+// the same information."
+//
+// Election here is the classic deterministic rule — the lowest-id up
+// server — so every node agrees on the delegate without messaging beyond
+// the membership view it already has. The statelessness guarantee itself
+// lives in tuner.h (run_delegate_round is a pure function); this class
+// just tracks who runs it, and the tests demonstrate that a mid-round
+// failover produces the identical configuration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace anu::core {
+
+class DelegateElection {
+ public:
+  explicit DelegateElection(std::size_t server_count);
+
+  /// The currently elected delegate: the lowest-id up server.
+  [[nodiscard]] ServerId current() const;
+
+  /// Membership updates (mirrors the balancer's view).
+  void on_server_failed(ServerId id);
+  void on_server_recovered(ServerId id);
+  void on_server_added();
+
+  [[nodiscard]] std::size_t up_count() const;
+  [[nodiscard]] bool is_delegate(ServerId id) const { return current() == id; }
+
+ private:
+  std::vector<bool> up_;
+};
+
+}  // namespace anu::core

@@ -1,0 +1,315 @@
+#include "core/region_map.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace anu::core {
+
+std::size_t RegionMap::required_partitions(std::size_t k) {
+  ANU_REQUIRE(k > 0);
+  std::size_t e = 0;
+  while ((std::size_t{1} << e) < k) ++e;  // e = ceil(lg k)
+  return std::size_t{1} << (e + 1);
+}
+
+RegionMap::RegionMap(std::size_t server_count) {
+  ANU_REQUIRE(server_count > 0);
+  const std::size_t p = required_partitions(server_count);
+  psize_ = UnitPoint::kOneRaw / p;
+  partitions_.assign(p, Partition{});
+  shares_.assign(server_count, 0);
+
+  std::vector<double> equal(server_count, 1.0);
+  rebalance(normalize_shares(equal));
+}
+
+std::optional<ServerId> RegionMap::owner_at(UnitPoint p) const {
+  const UnitPoint::raw_type raw = p.raw();
+  if (raw >= UnitPoint::kOneRaw) return std::nullopt;
+  const std::size_t idx = raw / psize_;
+  const Partition& part = partitions_[idx];
+  if (!part.owner.valid()) return std::nullopt;
+  const UnitPoint::raw_type offset = raw - static_cast<UnitPoint::raw_type>(idx) * psize_;
+  if (offset < part.occupied) return part.owner;
+  return std::nullopt;
+}
+
+UnitPoint RegionMap::share(ServerId id) const {
+  ANU_REQUIRE(id.value() < shares_.size());
+  return UnitPoint::from_raw(shares_[id.value()]);
+}
+
+std::vector<UnitPoint> RegionMap::shares() const {
+  std::vector<UnitPoint> out;
+  out.reserve(shares_.size());
+  for (auto raw : shares_) out.push_back(UnitPoint::from_raw(raw));
+  return out;
+}
+
+std::vector<UnitSegment> RegionMap::segments_of(ServerId id) const {
+  ANU_REQUIRE(id.value() < shares_.size());
+  std::vector<UnitSegment> segments;
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const Partition& part = partitions_[i];
+    if (part.owner != id || part.occupied == 0) continue;
+    const auto start = static_cast<UnitPoint::raw_type>(i) * psize_;
+    const UnitSegment seg{UnitPoint::from_raw(start),
+                          UnitPoint::from_raw(start + part.occupied)};
+    // Merge with the previous segment when contiguous (adjacent partitions
+    // fully occupied by the same server).
+    if (!segments.empty() && segments.back().end == seg.begin) {
+      segments.back() = UnitSegment{segments.back().begin, seg.end};
+    } else {
+      segments.push_back(seg);
+    }
+  }
+  return segments;
+}
+
+std::optional<std::size_t> RegionMap::partial_of(std::uint32_t s) const {
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const Partition& part = partitions_[i];
+    if (part.owner == ServerId(s) && part.occupied > 0 &&
+        part.occupied < psize_) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void RegionMap::release(std::uint32_t server, UnitPoint::raw_type amount,
+                        std::vector<std::size_t>& freed) {
+  ANU_REQUIRE(shares_[server] >= amount);
+  shares_[server] -= amount;
+  while (amount > 0) {
+    std::size_t victim;
+    if (auto partial = partial_of(server)) {
+      victim = *partial;
+    } else {
+      // No partial: convert the highest-index full partition.
+      victim = partitions_.size();
+      for (std::size_t i = partitions_.size(); i-- > 0;) {
+        if (partitions_[i].owner == ServerId(server)) {
+          victim = i;
+          break;
+        }
+      }
+      ANU_ENSURE(victim < partitions_.size());
+    }
+    Partition& part = partitions_[victim];
+    const UnitPoint::raw_type cut = std::min(part.occupied, amount);
+    part.occupied -= cut;
+    amount -= cut;
+    if (part.occupied == 0) {
+      part.owner = ServerId::invalid();
+      freed.push_back(victim);
+    }
+  }
+}
+
+void RegionMap::acquire(std::uint32_t server, UnitPoint::raw_type amount,
+                        std::vector<std::size_t>& free_order) {
+  shares_[server] += amount;
+  // Whole-partition claims first, preferentially from space released this
+  // round (free_order lists freed-this-round partitions before long-free
+  // ones): re-mapping just-released space keeps the cluster's mapped
+  // point-set stable, so only the shrinking servers' file sets re-hash —
+  // the paper's minimal-movement / locality-preservation property (§4).
+  auto claim_next = [&](UnitPoint::raw_type occupy) {
+    while (!free_order.empty() &&
+           partitions_[free_order.front()].owner.valid()) {
+      free_order.erase(free_order.begin());  // consumed by an earlier grower
+    }
+    ANU_ENSURE(!free_order.empty());  // free partition always exists
+    const std::size_t idx = free_order.front();
+    free_order.erase(free_order.begin());
+    partitions_[idx] = Partition{ServerId(server), occupy};
+  };
+  while (amount >= psize_) {
+    claim_next(psize_);
+    amount -= psize_;
+  }
+  // Sub-partition tail: top up the existing partial partition (contiguous
+  // prefix growth), then at most one fresh partial claim — preserving the
+  // at-most-one-partial invariant.
+  while (amount > 0) {
+    if (auto partial = partial_of(server)) {
+      Partition& part = partitions_[*partial];
+      const UnitPoint::raw_type fill = std::min(psize_ - part.occupied, amount);
+      part.occupied += fill;
+      amount -= fill;
+    } else {
+      claim_next(amount);
+      amount = 0;
+    }
+  }
+}
+
+void RegionMap::rebalance(const std::vector<UnitPoint::raw_type>& targets_raw) {
+  ANU_REQUIRE(targets_raw.size() == shares_.size());
+  const UnitPoint::raw_type total =
+      std::accumulate(targets_raw.begin(), targets_raw.end(),
+                      UnitPoint::raw_type{0});
+  ANU_REQUIRE(total == kHalfRaw);
+
+  // Shrink first so grown servers find free space, then grow. Partitions
+  // freed by the shrink phase head the growers' claim order (locality).
+  std::vector<std::size_t> free_order;
+  for (std::uint32_t s = 0; s < shares_.size(); ++s) {
+    if (targets_raw[s] < shares_[s]) {
+      release(s, shares_[s] - targets_raw[s], free_order);
+    }
+  }
+  std::sort(free_order.begin(), free_order.end());
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    if (!partitions_[i].owner.valid() &&
+        std::find(free_order.begin(), free_order.end(), i) ==
+            free_order.end()) {
+      free_order.push_back(i);  // long-free partitions, after freed ones
+    }
+  }
+  for (std::uint32_t s = 0; s < shares_.size(); ++s) {
+    if (targets_raw[s] > shares_[s]) {
+      acquire(s, targets_raw[s] - shares_[s], free_order);
+    }
+  }
+  check_invariants();
+}
+
+void RegionMap::split_partitions() {
+  std::vector<Partition> next(partitions_.size() * 2, Partition{});
+  const UnitPoint::raw_type half = psize_ / 2;
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const Partition& part = partitions_[i];
+    if (!part.owner.valid()) continue;
+    if (part.occupied <= half) {
+      next[2 * i] = Partition{part.owner, part.occupied};
+    } else {
+      next[2 * i] = Partition{part.owner, half};
+      next[2 * i + 1] = Partition{part.owner, part.occupied - half};
+    }
+  }
+  partitions_ = std::move(next);
+  psize_ = half;
+}
+
+ServerId RegionMap::add_server_slot() {
+  const auto id = ServerId(static_cast<std::uint32_t>(shares_.size()));
+  shares_.push_back(0);
+  // Paper §4: "if the added server increases k such that there are fewer
+  // than 2^(ceil(lg k)+1) partitions, the algorithm re-partitions the unit
+  // interval" — a refinement that moves no existing load (Fig. 3).
+  while (partitions_.size() < required_partitions(shares_.size())) {
+    split_partitions();
+  }
+  check_invariants();
+  return id;
+}
+
+std::vector<UnitPoint::raw_type> RegionMap::normalize_shares(
+    const std::vector<double>& weights) {
+  ANU_REQUIRE(!weights.empty());
+  double sum = 0.0;
+  for (double w : weights) {
+    ANU_REQUIRE(w >= 0.0);
+    sum += w;
+  }
+  ANU_REQUIRE(sum > 0.0);
+
+  std::vector<UnitPoint::raw_type> out(weights.size(), 0);
+  const auto half = static_cast<double>(kHalfRaw);
+  UnitPoint::raw_type assigned = 0;
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    out[i] = static_cast<UnitPoint::raw_type>(half * (weights[i] / sum));
+    assigned += out[i];
+    if (out[i] > out[largest]) largest = i;
+  }
+  // Double rounding can land a hair on either side of the exact total; the
+  // discrepancy (a few raw units of 2^-63 each) goes onto the largest share.
+  if (assigned <= kHalfRaw) {
+    out[largest] += kHalfRaw - assigned;
+  } else {
+    const UnitPoint::raw_type excess = assigned - kHalfRaw;
+    ANU_ENSURE(out[largest] >= excess);
+    out[largest] -= excess;
+  }
+  return out;
+}
+
+RegionMap::Snapshot RegionMap::snapshot() const {
+  Snapshot out;
+  out.reserve(partitions_.size());
+  for (const Partition& part : partitions_) {
+    out.emplace_back(part.owner.valid() ? part.owner.value()
+                                        : ServerId::kInvalidValue,
+                     part.occupied);
+  }
+  return out;
+}
+
+RegionMap RegionMap::from_snapshot(const Snapshot& snapshot,
+                                   std::size_t server_count) {
+  ANU_REQUIRE(!snapshot.empty());
+  ANU_REQUIRE((snapshot.size() & (snapshot.size() - 1)) == 0);  // power of 2
+  ANU_REQUIRE(snapshot.size() >= required_partitions(server_count));
+  RegionMap map;
+  map.psize_ = UnitPoint::kOneRaw / snapshot.size();
+  map.partitions_.reserve(snapshot.size());
+  map.shares_.assign(server_count, 0);
+  for (const auto& [owner, occupied] : snapshot) {
+    Partition part;
+    if (owner != ServerId::kInvalidValue) {
+      ANU_REQUIRE(owner < server_count);
+      part.owner = ServerId(owner);
+      part.occupied = occupied;
+      map.shares_[owner] += occupied;
+    } else {
+      ANU_REQUIRE(occupied == 0);
+    }
+    map.partitions_.push_back(part);
+  }
+  map.check_invariants();
+  return map;
+}
+
+bool RegionMap::operator==(const RegionMap& other) const {
+  return psize_ == other.psize_ && partitions_ == other.partitions_ &&
+         shares_ == other.shares_;
+}
+
+std::size_t RegionMap::shared_state_bytes() const {
+  // Per partition: owner id (4 bytes) + occupied prefix (8 bytes); plus the
+  // partition count itself (8 bytes). This is what the delegate distributes
+  // after each round (§4: "the only replicated state needed").
+  return partitions_.size() * 12 + 8;
+}
+
+void RegionMap::check_invariants() const {
+  std::vector<UnitPoint::raw_type> tally(shares_.size(), 0);
+  std::vector<std::size_t> partials(shares_.size(), 0);
+  std::size_t free_count = 0;
+  for (const Partition& part : partitions_) {
+    if (!part.owner.valid()) {
+      ANU_ENSURE(part.occupied == 0);
+      ++free_count;
+      continue;
+    }
+    ANU_ENSURE(part.occupied > 0 && part.occupied <= psize_);
+    ANU_ENSURE(part.owner.value() < shares_.size());
+    tally[part.owner.value()] += part.occupied;
+    if (part.occupied < psize_) ++partials[part.owner.value()];
+  }
+  UnitPoint::raw_type total = 0;
+  for (std::size_t s = 0; s < shares_.size(); ++s) {
+    ANU_ENSURE(tally[s] == shares_[s]);
+    ANU_ENSURE(partials[s] <= 1);  // at most one partial partition (§4)
+    total += tally[s];
+  }
+  ANU_ENSURE(total == kHalfRaw);  // half-occupancy invariant (§4)
+  ANU_ENSURE(free_count >= 1);    // a recovered server can always be placed
+}
+
+}  // namespace anu::core

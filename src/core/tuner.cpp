@@ -1,0 +1,80 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace anu::core {
+
+TunerDecision run_delegate_round(const std::vector<TunerInput>& inputs,
+                                 const TunerConfig& config) {
+  ANU_REQUIRE(!inputs.empty());
+  ANU_REQUIRE(config.alpha > 0.0);
+  ANU_REQUIRE(config.growth_cap >= 1.0);
+  ANU_REQUIRE(config.shrink_cap >= 1.0);
+  ANU_REQUIRE(config.idle_growth >= 1.0);
+
+  TunerDecision decision;
+  decision.weights.assign(inputs.size(), 0.0);
+
+  // System "average": completion-weighted mean of the reported latencies —
+  // the overall mean request latency of the closing interval, computable
+  // from the reports alone (the delegate knows nothing else).
+  double weighted_sum = 0.0;
+  std::size_t completions = 0;
+  std::size_t up_servers = 0;
+  for (const TunerInput& in : inputs) {
+    if (!in.report) continue;
+    ++up_servers;
+    weighted_sum +=
+        in.report->mean_latency * static_cast<double>(in.report->completed);
+    completions += in.report->completed;
+  }
+  ANU_REQUIRE(up_servers > 0);
+  const double average =
+      completions > 0 ? weighted_sum / static_cast<double>(completions) : 0.0;
+  decision.system_average = average;
+
+  // Equal share in the same weight scale as current shares.
+  double share_sum = 0.0;
+  for (const TunerInput& in : inputs) {
+    if (in.report) share_sum += in.current_share;
+  }
+  ANU_REQUIRE(share_sum > 0.0);
+  const double floor_share =
+      config.min_share_fraction * share_sum / static_cast<double>(up_servers);
+
+  for (std::size_t s = 0; s < inputs.size(); ++s) {
+    const TunerInput& in = inputs[s];
+    if (!in.report) continue;  // down: weight stays 0
+    double factor;
+    if (in.report->completed == 0 || average <= 0.0) {
+      // Idle server (its region caught no file set) — nudge it up so a
+      // mis-shrunk server can climb back; bounded so it cannot destabilize
+      // a balanced placement.
+      factor = config.idle_growth;
+    } else if (in.report->mean_latency <= average * (1.0 + config.dead_band) &&
+               in.report->mean_latency >= average / (1.0 + config.dead_band)) {
+      // Within the dead band: close enough to the system average that the
+      // deviation is indistinguishable from burst noise. Hold position.
+      factor = 1.0;
+    } else {
+      factor = std::pow(average / in.report->mean_latency, config.alpha);
+      factor = std::clamp(factor, 1.0 / config.shrink_cap, config.growth_cap);
+    }
+    double w = in.current_share * factor;
+    if (w <= floor_share) {
+      w = floor_share;
+      if (in.report->completed > 0 && in.report->mean_latency > average) {
+        // Pinned at the floor yet still too slow for the load its sliver of
+        // the interval attracts: an incompetent component (§5.2.2).
+        decision.incompetent.push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+    decision.weights[s] = w;
+  }
+  return decision;
+}
+
+}  // namespace anu::core

@@ -1,0 +1,88 @@
+// The delegate's tuning rule: latency reports -> new mapped-region shares.
+//
+// Paper §4: "At the end of each interval, each server computes its latency
+// in the past interval and reports it to an elected delegate server. The
+// delegate server examines all latencies and comes up with an 'average'
+// value for the whole system. The delegate scales down the mapped regions
+// for servers above the average and scales up the mapped regions for
+// servers below the average. The delegate is designed to be stateless and
+// determines the new load configuration based solely on reported
+// latencies."
+//
+// This paper leaves the exact update to ref [40]; per DESIGN.md we realize
+// it as a *damped multiplicative update*: the system average is the
+// completion-weighted mean latency, and each reporting server's share is
+// multiplied by (average / latency)^alpha, clamped to [1/shrink_cap,
+// growth_cap]. Idle servers (no completions — e.g. a server whose region
+// currently catches no file set) grow by a modest fixed factor so they can
+// re-enter service; shares are floored and renormalized to the
+// half-occupancy total. All knobs are exposed and ablated in
+// bench/ablation_tuner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "balance/balancer.h"
+#include "common/unit_point.h"
+
+namespace anu::core {
+
+struct TunerConfig {
+  /// Damping exponent of the multiplicative update (1 = undamped).
+  double alpha = 0.3;
+  /// Max multiplicative growth of a share in one round.
+  double growth_cap = 1.5;
+  /// Max multiplicative shrink of a share in one round (share may divide by
+  /// at most this factor). The paper notes a skewed server may "reduce its
+  /// mapped region by a large factor", so shrinking is allowed to be faster
+  /// than growth.
+  double shrink_cap = 3.0;
+  /// Growth factor applied to a server that completed nothing this round.
+  double idle_growth = 1.5;
+  /// Share floor as a fraction of the equal share 1/(2k); keeps every up
+  /// server addressable so it can be grown back later. Should be large
+  /// enough that a floored server's region can still catch a file set, or
+  /// it can never demonstrate recovery.
+  double min_share_fraction = 0.1;
+  /// Relative dead band around the average: a server within
+  /// [avg/(1+band), avg*(1+band)] keeps its share. Realizes §5.3's
+  /// "relatively conservative in moving load in response to short-term
+  /// bursts" — heavy-tailed arrivals make single-interval latency noisy,
+  /// and reacting to every wiggle would churn file sets in steady state.
+  /// 1.0 (react only to >2x / <0.5x deviations) is robust across seeds and
+  /// load levels; see bench/ablation_tuner.
+  double dead_band = 1.0;
+};
+
+/// One server's input to the delegate round.
+struct TunerInput {
+  /// Current share of the half-occupancy total, as a weight (any scale).
+  double current_share = 0.0;
+  /// Report for the closing interval; nullopt for a down server.
+  std::optional<balance::ServerReport> report;
+};
+
+/// Outcome of a delegate round.
+struct TunerDecision {
+  /// New share weights (same indexing as the input; 0 for down servers).
+  /// Renormalized by the caller through RegionMap::normalize_shares.
+  std::vector<double> weights;
+  /// Completion-weighted system average latency this round (0 if no server
+  /// completed anything).
+  double system_average = 0.0;
+  /// Servers flagged incompetent this round: share pinned at the floor
+  /// while still reporting above-average latency (paper §5.2.2: "ANU
+  /// randomization identifies such incompetent components and notifies
+  /// administrators").
+  std::vector<std::uint32_t> incompetent;
+};
+
+/// Pure function of (inputs, config) — the delegate is stateless, so a
+/// newly elected delegate running the same protocol on the same reports
+/// reaches the same configuration (paper §4).
+[[nodiscard]] TunerDecision run_delegate_round(
+    const std::vector<TunerInput>& inputs, const TunerConfig& config);
+
+}  // namespace anu::core

@@ -1,0 +1,37 @@
+#include "driver/balancer_factory.h"
+
+#include "balance/prescient.h"
+#include "balance/simple_random.h"
+#include "common/assert.h"
+
+namespace anu::driver {
+
+std::unique_ptr<balance::LoadBalancer> make_balancer(
+    const SystemConfig& config, std::size_t server_count) {
+  switch (config.kind) {
+    case SystemKind::kSimpleRandom:
+      return std::make_unique<balance::SimpleRandomBalancer>(
+          server_count, config.simple_hash_seed);
+    case SystemKind::kDynPrescient:
+      return std::make_unique<balance::PrescientBalancer>(server_count);
+    case SystemKind::kVirtualProcessor:
+      return std::make_unique<balance::VirtualProcessorBalancer>(config.vp,
+                                                                 server_count);
+    case SystemKind::kAnu:
+      return std::make_unique<core::AnuBalancer>(config.anu, server_count);
+  }
+  ANU_ENSURE(false && "unknown system kind");
+  return nullptr;
+}
+
+std::string system_label(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kSimpleRandom: return "simple-random";
+    case SystemKind::kDynPrescient: return "dyn-prescient";
+    case SystemKind::kVirtualProcessor: return "virtual-processor";
+    case SystemKind::kAnu: return "anu";
+  }
+  return "?";
+}
+
+}  // namespace anu::driver

@@ -1,0 +1,37 @@
+// Constructs any of the paper's four load-management systems by name.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "balance/balancer.h"
+#include "balance/virtual_processor.h"
+#include "core/anu_balancer.h"
+
+namespace anu::driver {
+
+enum class SystemKind {
+  kSimpleRandom,
+  kDynPrescient,
+  kVirtualProcessor,
+  kAnu,
+};
+
+/// All four systems, in the paper's presentation order.
+inline constexpr SystemKind kAllSystems[] = {
+    SystemKind::kSimpleRandom, SystemKind::kDynPrescient,
+    SystemKind::kVirtualProcessor, SystemKind::kAnu};
+
+struct SystemConfig {
+  SystemKind kind = SystemKind::kAnu;
+  core::AnuConfig anu;
+  balance::VirtualProcessorConfig vp;
+  std::uint64_t simple_hash_seed = 0x73696d706c65ULL;
+};
+
+[[nodiscard]] std::unique_ptr<balance::LoadBalancer> make_balancer(
+    const SystemConfig& config, std::size_t server_count);
+
+[[nodiscard]] std::string system_label(SystemKind kind);
+
+}  // namespace anu::driver

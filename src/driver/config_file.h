@@ -1,0 +1,69 @@
+// Text experiment configuration for the anu_sim command-line tool.
+//
+// Line-oriented `key value...` format ('#' comments, blank lines ignored):
+//
+//   workload synthetic            # or: trace
+//   seed 42
+//   file_sets 50
+//   requests 66401
+//   duration_min 200
+//   utilization 0.55
+//   speeds 1 3 5 7 9              # one per server
+//   system anu                    # anu | simple | prescient | vp
+//   vp_per_server 5               # vp system only
+//   placement_choices 1           # anu: 1 or 2 (SIEVE multiple choice)
+//   tuning_interval_s 120
+//   move_penalty_s 0
+//   cache_penalty_x 1             # cold-cache model: demand multiplier
+//   cache_warmup_requests 20
+//   control_delay_s 0             # control-plane pipeline latency
+//   fail 30 1                     # minute, server
+//   recover 50 1
+//   add 80 9.0                    # minute, speed
+//   remove 120 0
+//   trace_file path.trace         # workload trace: replay this file
+//   csv_out series.csv            # optional latency-series CSV
+//
+// Membership events must appear in time order.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "driver/balancer_factory.h"
+#include "driver/experiment.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace anu::driver {
+
+struct SimSpec {
+  enum class WorkloadKind { kSynthetic, kTrace };
+  WorkloadKind workload = WorkloadKind::kSynthetic;
+  workload::SyntheticConfig synthetic;
+  workload::TraceSynthConfig trace;
+  /// Non-empty: replay this trace file instead of synthesizing.
+  std::string trace_file;
+
+  SystemConfig system;
+  ExperimentConfig experiment;
+  std::string csv_out;
+};
+
+struct ConfigError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parses the format above. Returns nullopt and fills `error` on failure.
+std::optional<SimSpec> parse_sim_config(std::istream& is,
+                                        ConfigError* error = nullptr);
+std::optional<SimSpec> parse_sim_config_file(const std::string& path,
+                                             ConfigError* error = nullptr);
+
+/// Builds the workload a spec describes (synthesizes or loads the trace).
+/// Returns nullopt with `error` if a trace file fails to parse.
+std::optional<workload::Workload> build_workload(const SimSpec& spec,
+                                                 ConfigError* error = nullptr);
+
+}  // namespace anu::driver

@@ -1,0 +1,271 @@
+#include "driver/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "metrics/latency_tracker.h"
+#include "sim/monitor.h"
+#include "sim/simulation.h"
+
+namespace anu::driver {
+
+namespace {
+
+/// Per-interval per-file-set offered demand, read ahead from the schedule —
+/// the "perfect knowledge of workload properties" of §5.1.
+std::vector<std::vector<double>> lookahead_demands(
+    const workload::Workload& w, SimTime interval, SimTime horizon) {
+  const auto intervals =
+      static_cast<std::size_t>(std::ceil(horizon / interval)) + 1;
+  std::vector<std::vector<double>> demand(
+      intervals, std::vector<double>(w.file_set_count(), 0.0));
+  for (const workload::Request& r : w.requests()) {
+    auto slot = static_cast<std::size_t>(r.arrival / interval);
+    slot = std::min(slot, intervals - 1);
+    demand[slot][r.file_set.value()] += r.demand;
+  }
+  return demand;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const workload::Workload& workload,
+                                balance::LoadBalancer& balancer) {
+  ANU_REQUIRE(config.tuning_interval > 0.0);
+  const SimTime horizon =
+      config.horizon > 0.0 ? config.horizon : workload.span() + 1.0;
+
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim, config.cluster);
+  metrics::LatencyTracker latency(cluster.server_count());
+
+  std::vector<double> weights;
+  weights.reserve(workload.file_set_count());
+  for (const auto& fs : workload.file_sets()) weights.push_back(fs.weight);
+  metrics::MovementTracker movement(weights);
+
+  // Routing table: where requests actually go. With control_delay == 0 it
+  // mirrors the balancer's placement instantly; otherwise a tuning round's
+  // changes are committed only after the control-plane pipeline latency,
+  // and requests ride the previous placement until then.
+  std::vector<ServerId> routing;
+
+  // On every committed move: redirect the file set's waiting requests to
+  // its new server (the shed protocol of §4 hands pending work to the
+  // acquirer) and optionally arm the cold-cache penalty.
+  std::vector<double> pending_penalty(workload.file_set_count(), 0.0);
+  auto commit_moves = [&](const balance::RebalanceResult& result) {
+    for (const balance::FileSetMove& move : result.moves) {
+      // The source is whatever the routing table says *now* — an earlier
+      // in-flight round may already have moved this file set.
+      const ServerId from = routing[move.file_set.value()];
+      if (from == move.to) continue;
+      // A target that failed while this commit was in flight is skipped;
+      // the failure path already rerouted its file sets.
+      if (!cluster.is_up(move.to)) continue;
+      cluster.migrate_queued(move.file_set, from, move.to);
+      routing[move.file_set.value()] = move.to;
+      if (config.move_warmup_penalty > 0.0) {
+        pending_penalty[move.file_set.value()] = config.move_warmup_penalty;
+      }
+    }
+  };
+  auto apply_moves = [&](const balance::RebalanceResult& result,
+                         bool immediate) {
+    if (immediate || config.control_delay <= 0.0) {
+      commit_moves(result);
+    } else {
+      sim.schedule_after(config.control_delay,
+                         [&, result] { commit_moves(result); });
+    }
+  };
+
+  // Oracle views for prescient systems.
+  const bool want_oracle = config.oracle_lookahead;
+  const auto demand_matrix =
+      want_oracle
+          ? lookahead_demands(workload, config.tuning_interval, horizon)
+          : std::vector<std::vector<double>>{};
+  auto oracle_for = [&](std::size_t interval_index) {
+    balance::OracleView view;
+    if (want_oracle && interval_index < demand_matrix.size()) {
+      view.file_set_demand = demand_matrix[interval_index];
+    } else {
+      view.file_set_demand = weights;
+    }
+    view.server_speeds = cluster.up_speeds();
+    return view;
+  };
+
+  std::uint64_t issued = 0;
+  auto dispatch = [&](FileSetId fs, double demand) {
+    const ServerId target = routing[fs.value()];
+    double extra = 0.0;
+    std::swap(extra, pending_penalty[fs.value()]);
+    cluster.submit(target, fs, demand + extra);
+  };
+
+  RunningStats steady_state;
+  LogHistogram histogram;
+  cluster.on_complete = [&](const cluster::Completion& c) {
+    latency.observe(c);
+    histogram.add(c.latency());
+    if (c.completion >= horizon * 0.5) steady_state.add(c.latency());
+  };
+  // Requests stranded on a failing server re-dispatch through the (already
+  // updated) placement.
+  cluster.on_flush = [&](FileSetId fs, double demand) {
+    dispatch(fs, demand);
+  };
+
+  // Initial placement: prescient systems see interval 0; ANU and simple
+  // randomization start blind (§4/§5.1).
+  balancer.set_oracle(oracle_for(0));
+  balancer.register_file_sets(workload.file_sets());
+  routing.resize(workload.file_set_count());
+  for (std::uint32_t fs = 0; fs < workload.file_set_count(); ++fs) {
+    routing[fs] = balancer.server_for(FileSetId(fs));
+  }
+
+  // Arrival cursor: one in-flight event that submits request i and arms
+  // request i+1 (keeps the calendar O(servers), not O(requests)).
+  const auto& requests = workload.requests();
+  std::size_t cursor = 0;
+  std::function<void()> arrive = [&] {
+    while (cursor < requests.size() &&
+           requests[cursor].arrival <= sim.now()) {
+      const workload::Request& r = requests[cursor++];
+      ++issued;
+      dispatch(r.file_set, r.demand);
+    }
+    if (cursor < requests.size()) {
+      sim.schedule_at(requests[cursor].arrival, arrive);
+    }
+  };
+  if (!requests.empty()) {
+    sim.schedule_at(requests.front().arrival, arrive);
+  }
+
+  // The tuning loop (§4): collect interval reports, delegate round, record
+  // movement.
+  std::uint64_t rounds = 0;
+  std::vector<ExperimentResult::ShareSample> share_samples;
+  sim::PeriodicMonitor tuner(sim, config.tuning_interval, [&](SimTime now) {
+    if (now > horizon) return;
+    ++rounds;
+    for (std::uint32_t s = 0; s < cluster.server_count(); ++s) {
+      const auto id = ServerId(s);
+      if (!cluster.is_up(id)) continue;
+      const auto report = cluster.server(id).take_interval_report();
+      balancer.report(id,
+                      balance::ServerReport{report.mean_latency,
+                                            report.completed});
+    }
+    const auto next_interval =
+        static_cast<std::size_t>(std::llround(now / config.tuning_interval));
+    balancer.set_oracle(oracle_for(next_interval));
+    const balance::RebalanceResult result = balancer.tune();
+    movement.record(now, result);
+    apply_moves(result, /*immediate=*/false);
+
+    // Sample the assigned-weight share per server (the share trace of
+    // ExperimentResult::shares_over_time).
+    ExperimentResult::ShareSample sample;
+    sample.when = now;
+    sample.share.assign(cluster.server_count(), 0.0);
+    double total_weight = 0.0;
+    for (std::uint32_t fs = 0; fs < workload.file_set_count(); ++fs) {
+      const double w = weights[fs];
+      sample.share[balancer.server_for(FileSetId(fs)).value()] += w;
+      total_weight += w;
+    }
+    if (total_weight > 0.0) {
+      for (double& s : sample.share) s /= total_weight;
+    }
+    share_samples.push_back(std::move(sample));
+  });
+
+  // Scripted membership changes. Balancer first (placement must be valid
+  // before the cluster flushes queued requests back through dispatch).
+  for (const cluster::MembershipEvent& event : config.failures.events()) {
+    sim.schedule_at(event.when, [&, event] {
+      switch (event.action) {
+        case cluster::MembershipAction::kFail:
+        case cluster::MembershipAction::kRemove: {
+          const auto moves = balancer.on_server_failed(event.server);
+          movement.record(sim.now(), moves);
+          apply_moves(moves, /*immediate=*/true);
+          // With control_delay, routing may lag the balancer and still pin
+          // a file set to the failing server the balancer never saw it on;
+          // sweep every such entry onto the balancer's current placement.
+          for (std::uint32_t fs = 0; fs < routing.size(); ++fs) {
+            if (routing[fs] == event.server) {
+              routing[fs] = balancer.server_for(FileSetId(fs));
+            }
+          }
+          cluster.fail_server(event.server);
+          break;
+        }
+        case cluster::MembershipAction::kRecover: {
+          cluster.recover_server(event.server);
+          balancer.set_oracle(oracle_for(static_cast<std::size_t>(
+              sim.now() / config.tuning_interval)));
+          const auto moves = balancer.on_server_recovered(event.server);
+          movement.record(sim.now(), moves);
+          apply_moves(moves, /*immediate=*/true);
+          break;
+        }
+        case cluster::MembershipAction::kAdd: {
+          const ServerId id = cluster.add_server(event.speed);
+          latency.add_server();
+          balancer.set_oracle(oracle_for(static_cast<std::size_t>(
+              sim.now() / config.tuning_interval)));
+          const auto moves = balancer.on_server_added(id);
+          movement.record(sim.now(), moves);
+          apply_moves(moves, /*immediate=*/true);
+          break;
+        }
+      }
+    });
+  }
+
+  sim.run_until(horizon);
+  tuner.stop();
+
+  ExperimentResult result;
+  result.server_count = cluster.server_count();
+  result.horizon = horizon;
+  result.aggregate = latency.aggregate();
+  result.steady_state = steady_state;
+  result.latency_histogram = histogram;
+  result.per_server.reserve(cluster.server_count());
+  result.served.reserve(cluster.server_count());
+  result.latency_over_time.reserve(cluster.server_count());
+  result.utilization.reserve(cluster.server_count());
+  for (std::uint32_t s = 0; s < cluster.server_count(); ++s) {
+    const auto id = ServerId(s);
+    result.per_server.push_back(latency.server_stats(id));
+    result.served.push_back(latency.served(id));
+    result.latency_over_time.push_back(
+        latency.server_series(id).windowed_mean(config.series_window,
+                                                horizon));
+    result.utilization.push_back(cluster.server(id).utilization(horizon));
+  }
+  result.shares_over_time = std::move(share_samples);
+  result.movement = movement.rounds();
+  result.total_moved = movement.total_moved();
+  result.unique_moved = movement.unique_moved();
+  result.percent_workload_moved = movement.percent_workload_moved();
+  result.percent_unique_workload_moved =
+      movement.percent_unique_workload_moved();
+  result.shared_state_bytes = balancer.shared_state_bytes();
+  result.requests_issued = issued;
+  result.requests_completed = latency.total_served();
+  result.events_executed = sim.events_executed();
+  result.tuning_rounds = rounds;
+  return result;
+}
+
+}  // namespace anu::driver

@@ -1,0 +1,34 @@
+#include "driver/sweep.h"
+
+#include <atomic>
+#include <thread>
+
+namespace anu::driver {
+
+void run_parallel(const std::vector<std::function<void()>>& jobs,
+                  std::size_t threads) {
+  if (jobs.empty()) return;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, jobs.size());
+  if (threads == 1) {
+    for (const auto& job : jobs) job();
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        jobs[i]();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace anu::driver

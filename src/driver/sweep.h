@@ -1,0 +1,38 @@
+// Parallel parameter sweeps.
+//
+// Multi-configuration figures (Fig. 8's VP-count sweep, the tuner ablation)
+// run many *independent* simulations; each owns its Simulation, Cluster and
+// balancer, so the only shared state is the result slot each job writes —
+// pre-sized so no synchronization beyond the completion join is needed
+// (C++ Core Guidelines CP.20-ish: no naked sharing). Thread count defaults
+// to the hardware concurrency.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace anu::driver {
+
+/// Runs jobs[0..n) across up to `threads` workers; blocks until all finish.
+/// Each job must be independent (no shared mutable state between jobs).
+void run_parallel(const std::vector<std::function<void()>>& jobs,
+                  std::size_t threads = 0);
+
+/// Maps `count` indices through `fn` in parallel and collects results in
+/// index order. `fn` must be safe to call concurrently on distinct indices.
+template <class Result>
+std::vector<Result> parallel_map(std::size_t count,
+                                 const std::function<Result(std::size_t)>& fn,
+                                 std::size_t threads = 0) {
+  std::vector<Result> results(count);
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back([&results, &fn, i] { results[i] = fn(i); });
+  }
+  run_parallel(jobs, threads);
+  return results;
+}
+
+}  // namespace anu::driver

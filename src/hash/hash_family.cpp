@@ -1,0 +1,64 @@
+#include "hash/hash_family.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace anu {
+
+namespace {
+
+inline std::uint64_t load64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline std::uint64_t load_tail(const char* p, std::size_t n) {
+  // Little-endian partial load of 1..7 bytes, zero padded.
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+constexpr std::uint64_t kMul1 = 0x9ddfea08eb382d69ULL;
+constexpr std::uint64_t kMul2 = 0xc2b2ae3d27d4eb4fULL;
+
+inline std::uint64_t mix_block(std::uint64_t state, std::uint64_t block) {
+  state ^= mix64(block * kMul2);
+  return state * kMul1 + 0x165667b19e3779f9ULL;
+}
+
+}  // namespace
+
+std::uint64_t hash64(std::string_view data, std::uint64_t seed) {
+  const char* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t state = seed ^ (static_cast<std::uint64_t>(n) * kMul1);
+  while (n >= 8) {
+    state = mix_block(state, load64(p));
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    state = mix_block(state, load_tail(p, n) | (static_cast<std::uint64_t>(n) << 56));
+  }
+  return mix64(state);
+}
+
+HashFamily::HashFamily(std::uint64_t family_seed) : family_seed_(family_seed) {}
+
+std::uint64_t HashFamily::raw(std::string_view name, std::uint32_t round) const {
+  // mix64 on the round index decorrelates adjacent family members: H_r and
+  // H_{r+1} see seeds differing in ~32 random bits, not one.
+  return hash64(name, family_seed_ ^ mix64(round + 0x0123456789abcdefULL));
+}
+
+UnitPoint HashFamily::unit_point(std::string_view name,
+                                 std::uint32_t round) const {
+  return UnitPoint::from_hash(raw(name, round));
+}
+
+}  // namespace anu

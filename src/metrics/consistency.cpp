@@ -1,0 +1,45 @@
+#include "metrics/consistency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace anu::metrics {
+
+ConsistencyReport performance_consistency(
+    const std::vector<RunningStats>& per_server, double min_served_share) {
+  ANU_REQUIRE(min_served_share >= 0.0 && min_served_share < 1.0);
+  ConsistencyReport report;
+  std::size_t total = 0;
+  for (const RunningStats& s : per_server) total += s.count();
+  if (total == 0) return report;
+
+  RunningStats means;  // of per-server mean latencies, counted servers only
+  double lo = 0.0, hi = 0.0;
+  for (const RunningStats& s : per_server) {
+    const double share =
+        static_cast<double>(s.count()) / static_cast<double>(total);
+    if (s.count() == 0) continue;  // fully idle: not a server of the metric
+    if (share < min_served_share) {
+      ++report.servers_excluded;
+      report.excluded_request_share += share;
+      continue;
+    }
+    const double mean = s.mean();
+    if (report.servers_counted == 0) {
+      lo = hi = mean;
+    } else {
+      lo = std::min(lo, mean);
+      hi = std::max(hi, mean);
+    }
+    ++report.servers_counted;
+    means.add(mean);
+  }
+  if (report.servers_counted == 0) return report;
+  report.latency_cv = means.mean() > 0.0 ? means.stddev() / means.mean() : 0.0;
+  report.max_over_min = lo > 0.0 ? hi / lo : 1.0;
+  return report;
+}
+
+}  // namespace anu::metrics

@@ -1,0 +1,42 @@
+// Performance-consistency metrics (paper §5.2.2).
+//
+// "Servers exhibit consistent average latency values in ANU randomization
+// ... application workloads will observe consistent latency over any
+// non-idle server in the cluster once the system reaches balance. It will
+// benefit applications that have strict performance requirements [and]
+// Service Level Agreements."
+//
+// Consistency is summarized over the servers that actually carry load: a
+// near-idle server's handful of requests (the paper's server 0 at 0.37%)
+// must not dominate the statistic, so servers below `min_served_share` of
+// total requests are reported separately.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace anu::metrics {
+
+struct ConsistencyReport {
+  /// Coefficient of variation (stddev/mean) of per-server mean latencies
+  /// over the counted (non-idle) servers. 0 = perfectly consistent.
+  double latency_cv = 0.0;
+  /// Ratio of slowest to fastest counted server's mean latency.
+  double max_over_min = 1.0;
+  /// Servers included (served share >= min_served_share).
+  std::size_t servers_counted = 0;
+  /// Servers excluded as near-idle, and the share of requests they served.
+  std::size_t servers_excluded = 0;
+  double excluded_request_share = 0.0;
+};
+
+/// Computes the report from whole-run per-server latency statistics.
+/// `min_served_share` is the fraction of total served requests below which
+/// a server counts as near-idle (default 1%).
+[[nodiscard]] ConsistencyReport performance_consistency(
+    const std::vector<RunningStats>& per_server,
+    double min_served_share = 0.01);
+
+}  // namespace anu::metrics

@@ -1,0 +1,52 @@
+#include "metrics/movement_tracker.h"
+
+#include "common/assert.h"
+
+namespace anu::metrics {
+
+MovementTracker::MovementTracker(std::vector<double> file_set_weights)
+    : weights_(std::move(file_set_weights)),
+      ever_moved_(weights_.size(), false) {
+  for (double w : weights_) {
+    ANU_REQUIRE(w >= 0.0);
+    total_weight_ += w;
+  }
+}
+
+void MovementTracker::record(SimTime when,
+                             const balance::RebalanceResult& result) {
+  Round round;
+  round.when = when;
+  round.moved = result.moves.size();
+  for (const balance::FileSetMove& move : result.moves) {
+    ANU_REQUIRE(move.file_set.value() < weights_.size());
+    round.moved_weight += weights_[move.file_set.value()];
+    ever_moved_[move.file_set.value()] = true;
+  }
+  total_moved_ += round.moved;
+  moved_weight_ += round.moved_weight;
+  round.cumulative = total_moved_;
+  round.cumulative_pct = percent_workload_moved();
+  rounds_.push_back(round);
+}
+
+double MovementTracker::percent_workload_moved() const {
+  return total_weight_ > 0.0 ? 100.0 * moved_weight_ / total_weight_ : 0.0;
+}
+
+std::size_t MovementTracker::unique_moved() const {
+  std::size_t n = 0;
+  for (bool moved : ever_moved_) n += moved ? 1 : 0;
+  return n;
+}
+
+double MovementTracker::percent_unique_workload_moved() const {
+  if (total_weight_ <= 0.0) return 0.0;
+  double moved = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (ever_moved_[i]) moved += weights_[i];
+  }
+  return 100.0 * moved / total_weight_;
+}
+
+}  // namespace anu::metrics

@@ -1,0 +1,73 @@
+// Wire messages of the ANU control protocol (paper §4).
+//
+// Three flows make up the protocol:
+//   * each server reports its interval latency "to an elected delegate
+//     server" — LatencyReport;
+//   * "the delegate distributes a new mapping of servers to the unit
+//     interval to all servers. This is the only replicated state needed by
+//     our algorithm" — RegionMapUpdate, carrying the full partition table
+//     (it is O(servers) small, which is the point);
+//   * a shedding server "hashes each shed file set to locate a new server
+//     and notifies the new server that it is gaining workload" — ShedNotice.
+//
+// Messages carry a wire size so the network model can charge transmission
+// cost and the tests can account protocol overhead.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "balance/balancer.h"
+#include "common/types.h"
+#include "common/unit_point.h"
+
+namespace anu::proto {
+
+struct LatencyReport {
+  std::uint32_t server = 0;
+  /// Tuning round this report belongs to (delegate ignores stale rounds).
+  std::uint64_t round = 0;
+  balance::ServerReport report;
+
+  [[nodiscard]] std::size_t wire_size() const { return 4 + 8 + 12; }
+};
+
+/// Serialized partition table: one (owner, occupied-prefix) pair per
+/// partition — the RegionMap's exact content.
+struct RegionMapUpdate {
+  /// Monotonic configuration version; receivers apply only newer maps.
+  std::uint64_t version = 0;
+  std::uint64_t round = 0;
+  std::vector<std::pair<std::uint32_t, UnitPoint::raw_type>> partitions;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return 16 + partitions.size() * 12;
+  }
+};
+
+struct ShedNotice {
+  std::uint32_t file_set = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+
+  [[nodiscard]] std::size_t wire_size() const { return 12; }
+};
+
+/// Liveness beacon for heartbeat-based membership (§4's "elected delegate"
+/// needs every node to agree on who is up; with heartbeats that agreement
+/// is emergent rather than oracular).
+struct Heartbeat {
+  std::uint32_t server = 0;
+
+  [[nodiscard]] std::size_t wire_size() const { return 8; }
+};
+
+using Message =
+    std::variant<LatencyReport, RegionMapUpdate, ShedNotice, Heartbeat>;
+
+[[nodiscard]] inline std::size_t wire_size(const Message& message) {
+  return std::visit([](const auto& m) { return m.wire_size(); }, message);
+}
+
+}  // namespace anu::proto

@@ -1,0 +1,67 @@
+#include "proto/network.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace anu::proto {
+
+Network::Network(sim::Simulation& simulation, const NetworkConfig& config,
+                 std::size_t node_count)
+    : sim_(simulation),
+      config_(config),
+      rng_(config.seed),
+      handlers_(node_count),
+      up_(node_count, true) {
+  ANU_REQUIRE(node_count > 0);
+  ANU_REQUIRE(config.base_delay >= 0.0);
+  ANU_REQUIRE(config.per_byte >= 0.0);
+  ANU_REQUIRE(config.jitter >= 0.0 && config.jitter < 1.0);
+}
+
+void Network::attach(std::uint32_t node, Handler handler) {
+  ANU_REQUIRE(node < handlers_.size());
+  handlers_[node] = std::move(handler);
+}
+
+void Network::set_node_up(std::uint32_t node, bool up) {
+  ANU_REQUIRE(node < up_.size());
+  up_[node] = up;
+}
+
+bool Network::node_up(std::uint32_t node) const {
+  ANU_REQUIRE(node < up_.size());
+  return up_[node];
+}
+
+void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
+  ANU_REQUIRE(from < handlers_.size());
+  ANU_REQUIRE(to < handlers_.size());
+  const std::size_t size = wire_size(message);
+  bytes_ += size;
+  if (!up_[from] || !up_[to]) {
+    ++dropped_;
+    return;
+  }
+  const double delay =
+      (config_.base_delay + config_.per_byte * static_cast<double>(size)) *
+      (1.0 + config_.jitter * rng_.next_double());
+  sim_.schedule_after(delay, [this, from, to, msg = std::move(message)] {
+    // Deliverability re-checked at delivery time: the receiver may have
+    // failed while the message was in flight.
+    if (!up_[to] || !handlers_[to]) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    handlers_[to](from, msg);
+  });
+}
+
+void Network::broadcast(std::uint32_t from, const Message& message) {
+  for (std::uint32_t node = 0; node < handlers_.size(); ++node) {
+    if (node != from) send(from, node, message);
+  }
+}
+
+}  // namespace anu::proto

@@ -1,0 +1,70 @@
+// Simulated message-passing network for the control protocol.
+//
+// Point-to-point delivery with configurable base latency, per-byte cost and
+// deterministic jitter. Messages to a down node are dropped silently (the
+// failure model the delegate protocol must tolerate). Per-pair FIFO
+// ordering holds as long as jitter cannot reorder (jitter is bounded below
+// 2x base delay by construction); the protocol is written to tolerate
+// reordering anyway via round/version numbers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "proto/messages.h"
+#include "sim/simulation.h"
+
+namespace anu::proto {
+
+struct NetworkConfig {
+  /// One-way base delay, seconds (LAN-ish default).
+  double base_delay = 0.001;
+  /// Seconds per byte of payload (1 Gb/s-ish default).
+  double per_byte = 8e-9;
+  /// Multiplicative jitter amplitude in [0, 1): delay is scaled by a
+  /// deterministic factor in [1, 1 + jitter).
+  double jitter = 0.2;
+  std::uint64_t seed = 0x6e6574ULL;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(std::uint32_t from, const Message&)>;
+
+  Network(sim::Simulation& simulation, const NetworkConfig& config,
+          std::size_t node_count);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the receive handler of one node.
+  void attach(std::uint32_t node, Handler handler);
+
+  /// Marks a node down/up; messages to (and from) down nodes are dropped.
+  void set_node_up(std::uint32_t node, bool up);
+  [[nodiscard]] bool node_up(std::uint32_t node) const;
+
+  /// Sends a message; delivery is scheduled after the modelled delay.
+  void send(std::uint32_t from, std::uint32_t to, Message message);
+  /// Sends to every up node except `from`.
+  void broadcast(std::uint32_t from, const Message& message);
+
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
+
+ private:
+  sim::Simulation& sim_;
+  NetworkConfig config_;
+  Xoshiro256 rng_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> up_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace anu::proto

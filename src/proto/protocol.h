@@ -1,0 +1,140 @@
+// The ANU control protocol as per-node state machines over a simulated
+// network — the message-level realization of §4.
+//
+// Per tuning interval, each server node computes its latency report and
+// sends it to the delegate (the lowest-id up server, per the deterministic
+// election every node can evaluate from the shared membership view — in a
+// real deployment a heartbeat service provides that view). The delegate
+// collects the round's reports, waits out a short grace period for
+// stragglers, runs the stateless tuning function, and broadcasts the new
+// region table with a bumped version. Each node applies newer versions to
+// its local replica, computes which of its file sets it shed, and notifies
+// the acquirers (ShedNotice).
+//
+// Tolerances built in and tested:
+//   * lost reports: read as idle (bounded growth nudge), never block a round;
+//   * lost/ reordered updates: version numbers make application idempotent
+//     and monotonic; a node that missed version v catches up at v+1;
+//   * delegate failure mid-round: no update is produced that round; the
+//     next round's reports go to the newly elected delegate, which runs
+//     the same pure function on its own replica — statelessness in action.
+//
+// The protocol layer abstracts the data plane: per round, each node's
+// observed latency comes from a pluggable LatencyModel (queueing-level
+// evaluation lives in driver/). What is being validated here is the
+// control plane: agreement, versioning, failover, message cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/region_map.h"
+#include "core/tuner.h"
+#include "hash/hash_family.h"
+#include "proto/heartbeat.h"
+#include "proto/network.h"
+#include "sim/monitor.h"
+
+namespace anu::proto {
+
+struct ProtocolConfig {
+  double tuning_interval = 120.0;
+  /// How long the delegate waits after its own report before tuning with
+  /// whatever reports arrived.
+  double report_grace = 0.5;
+  core::TunerConfig tuner;
+  std::uint64_t hash_seed = 0x616e755f68617368ULL;
+  std::uint32_t max_probe_rounds = 64;
+  /// Membership source. false: an oracle membership service (every node
+  /// instantly knows who is up — the default, and what the §4 prose
+  /// presumes). true: emergent heartbeat detection — nodes beacon every
+  /// heartbeat.interval, suspect silent peers, elect the delegate from
+  /// their *local* views, and a dead server's region is reclaimed when the
+  /// delegate's detector suspects it (no oracle involved).
+  bool use_heartbeats = false;
+  HeartbeatConfig heartbeat;
+};
+
+/// Produces server `s`'s interval report given its current share — the
+/// abstracted data plane.
+using LatencyModel = std::function<balance::ServerReport(
+    std::uint32_t server, UnitPoint share)>;
+
+class ProtocolCluster {
+ public:
+  ProtocolCluster(sim::Simulation& simulation, Network& network,
+                  const ProtocolConfig& config, std::size_t server_count,
+                  LatencyModel latency_model);
+
+  /// Replicated cluster configuration: the file sets every node knows.
+  void register_file_sets(std::vector<std::string> names);
+
+  /// Membership changes (also flips the node's network link).
+  void fail_server(std::uint32_t server);
+  void recover_server(std::uint32_t server);
+
+  /// The delegate under oracle membership (ground truth lowest up node).
+  [[nodiscard]] std::uint32_t delegate() const;
+  /// Who node `self` believes is the delegate (== delegate() unless
+  /// heartbeats are on, where it reflects that node's local detector).
+  [[nodiscard]] std::uint32_t believed_delegate_of(std::uint32_t self) const;
+  /// Does node `self` currently believe `peer` is up?
+  [[nodiscard]] bool believed_up(std::uint32_t self, std::uint32_t peer) const;
+
+  /// Node-local state, for tests and diagnostics.
+  [[nodiscard]] const core::RegionMap& map_of(std::uint32_t server) const;
+  [[nodiscard]] std::uint64_t version_of(std::uint32_t server) const;
+  /// True when all up nodes hold identical (version, table) replicas.
+  [[nodiscard]] bool replicas_agree() const;
+  /// Routing as node `server` would perform it, on its own replica.
+  [[nodiscard]] ServerId route_from(std::uint32_t server,
+                                    std::string_view name) const;
+  [[nodiscard]] std::uint64_t shed_notices_received(
+      std::uint32_t server) const;
+  [[nodiscard]] std::uint64_t updates_published() const { return published_; }
+
+  /// Fired when a node sheds a file set on applying a new map (at the
+  /// moment it sends the ShedNotice): (file_set, from, to). The data-plane
+  /// integration uses this to hand the file set's queued requests over.
+  std::function<void(std::uint32_t, std::uint32_t, std::uint32_t)> on_shed;
+
+ private:
+  struct Node {
+    core::RegionMap map{1};  // placeholder; re-initialized in ctor
+    std::uint64_t version = 0;
+    bool up = true;
+    std::uint64_t shed_notices = 0;
+    // Delegate-role state (used only while this node is the delegate).
+    std::vector<std::optional<balance::ServerReport>> round_reports;
+    std::uint64_t collecting_round = 0;
+    std::uint64_t last_tuned_round = 0;  // guards against double-tuning
+    sim::EventHandle grace_deadline;
+  };
+
+  void on_message(std::uint32_t self, std::uint32_t from,
+                  const Message& message);
+  void on_tick(SimTime now);
+  void delegate_collect(std::uint32_t self, const LatencyReport& report);
+  void delegate_tune(std::uint32_t self);
+  void apply_update(std::uint32_t self, const RegionMapUpdate& update);
+  [[nodiscard]] ServerId route_on(const core::RegionMap& map,
+                                  std::string_view name) const;
+
+  sim::Simulation& sim_;
+  Network& network_;
+  ProtocolConfig config_;
+  LatencyModel latency_model_;
+  HashFamily family_;
+  std::vector<Node> nodes_;
+  std::vector<HeartbeatView> views_;  // one per node (heartbeat mode)
+  std::vector<std::string> file_sets_;
+  std::uint64_t published_ = 0;
+  sim::PeriodicMonitor ticker_;
+  std::unique_ptr<sim::PeriodicMonitor> heartbeat_ticker_;
+};
+
+}  // namespace anu::proto

@@ -1,0 +1,34 @@
+#include "sim/monitor.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace anu::sim {
+
+PeriodicMonitor::PeriodicMonitor(Simulation& simulation, SimTime interval,
+                                 Tick tick)
+    : sim_(simulation), interval_(interval), tick_(std::move(tick)) {
+  ANU_REQUIRE(interval > 0.0);
+  ANU_REQUIRE(tick_ != nullptr);
+  arm();
+}
+
+PeriodicMonitor::~PeriodicMonitor() { stop(); }
+
+void PeriodicMonitor::stop() {
+  stopped_ = true;
+  next_.cancel();
+}
+
+void PeriodicMonitor::arm() {
+  next_ = sim_.schedule_after(interval_, [this] {
+    if (stopped_) return;
+    ++fired_;
+    // Re-arm before the tick so a tick that stops the monitor wins.
+    arm();
+    tick_(sim_.now());
+  });
+}
+
+}  // namespace anu::sim

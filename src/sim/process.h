@@ -1,0 +1,122 @@
+// Process-oriented simulation on top of the event kernel.
+//
+// YACSIM — the toolkit the paper's simulator was built on — is a
+// process-oriented DES: model code reads as sequential activity that
+// suspends for simulated time. This header provides the same style with
+// C++20 coroutines over sim::Simulation:
+//
+//   sim::Process script(sim::Simulation& sim, Cluster& cluster) {
+//     co_await sim::delay(sim, 600.0);
+//     cluster.fail_server(ServerId(2));
+//     co_await sim::delay(sim, 300.0);
+//     cluster.recover_server(ServerId(2));
+//   }
+//   ...
+//   spawn(script(sim, cluster));
+//
+// Lifetime rules (all enforced, none left to the caller):
+//   * a process frame destroys itself when it runs to completion;
+//   * a process suspended on a delay whose event never fires (simulation
+//     torn down first) is destroyed by the pending-event cleanup — no leak;
+//   * processes are detached: spawn() starts them and returns.
+#pragma once
+
+#include <coroutine>
+#include <cstdlib>
+#include <memory>
+
+#include "sim/simulation.h"
+
+namespace anu::sim {
+
+class Process {
+ public:
+  struct promise_type {
+    /// Cleared just before self-destruction so late-armed tokens know the
+    /// frame is gone.
+    std::shared_ptr<bool> alive = std::make_shared<bool>(true);
+
+    Process get_return_object() {
+      return Process(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        *h.promise().alive = false;
+        h.destroy();  // self-destroying coroutine: no dangling owner
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::abort(); }  // sims must not throw
+  };
+
+  Process(Process&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() = default;  // started processes own themselves
+
+ private:
+  friend void spawn(Process process);
+  explicit Process(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Starts a process; it runs until its first suspension point immediately.
+inline void spawn(Process process) {
+  auto handle = process.handle_;
+  process.handle_ = nullptr;
+  handle.resume();
+}
+
+namespace detail {
+
+/// Shared between a suspended process and the event that resumes it. If
+/// the event is dropped unrun (simulation teardown), the token's death
+/// destroys the still-suspended frame.
+struct ResumeToken {
+  std::coroutine_handle<> handle;
+  std::shared_ptr<bool> alive;
+  bool fired = false;
+
+  ~ResumeToken() {
+    if (!fired && alive && *alive) handle.destroy();
+  }
+};
+
+}  // namespace detail
+
+/// Awaitable: suspends the process for `dt` simulated seconds.
+struct DelayAwaiter {
+  Simulation& sim;
+  SimTime dt;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<Process::promise_type> h) const {
+    auto token = std::make_shared<detail::ResumeToken>();
+    token->handle = h;
+    token->alive = h.promise().alive;
+    sim.schedule_after(dt, [token] {
+      token->fired = true;
+      if (*token->alive) token->handle.resume();
+    });
+  }
+  void await_resume() const noexcept {}
+};
+
+[[nodiscard]] inline DelayAwaiter delay(Simulation& sim, SimTime dt) {
+  return DelayAwaiter{sim, dt};
+}
+
+/// Awaitable: suspends until an absolute simulated time (>= now).
+[[nodiscard]] inline DelayAwaiter delay_until(Simulation& sim, SimTime when) {
+  return DelayAwaiter{sim, when - sim.now()};
+}
+
+}  // namespace anu::sim

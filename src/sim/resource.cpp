@@ -1,0 +1,81 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace anu::sim {
+
+FifoResource::FifoResource(Simulation& simulation, double speed,
+                           std::string name)
+    : sim_(simulation), speed_(speed), name_(std::move(name)) {
+  ANU_REQUIRE(speed > 0.0);
+}
+
+void FifoResource::submit(Job job) {
+  ANU_REQUIRE(up_);
+  ANU_REQUIRE(job.demand >= 0.0);
+  if (job.arrival < 0.0) job.arrival = sim_.now();
+  queue_.push_back(std::move(job));
+  if (!busy_) start_next();
+}
+
+std::vector<Job> FifoResource::extract_queued(
+    const std::function<bool(const Job&)>& predicate) {
+  std::vector<Job> taken;
+  std::deque<Job> kept;
+  for (Job& job : queue_) {
+    if (predicate(job)) {
+      taken.push_back(std::move(job));
+    } else {
+      kept.push_back(std::move(job));
+    }
+  }
+  queue_ = std::move(kept);
+  return taken;
+}
+
+void FifoResource::set_speed(double speed) {
+  ANU_REQUIRE(speed > 0.0);
+  speed_ = speed;
+}
+
+void FifoResource::fail() {
+  up_ = false;
+  if (busy_) {
+    completion_event_.cancel();
+    busy_ = false;
+    busy_time_ += sim_.now() - service_start_;  // partial service rendered
+    if (on_flush) on_flush(in_flight_);
+  }
+  while (!queue_.empty()) {
+    if (on_flush) on_flush(queue_.front());
+    queue_.pop_front();
+  }
+}
+
+void FifoResource::recover() {
+  ANU_REQUIRE(!up_);
+  ANU_ENSURE(queue_.empty() && !busy_);
+  up_ = true;
+}
+
+void FifoResource::start_next() {
+  if (queue_.empty()) return;
+  busy_ = true;
+  in_flight_ = std::move(queue_.front());
+  queue_.pop_front();
+  const double service = in_flight_.demand / speed_;
+  service_start_ = sim_.now();
+  completion_event_ = sim_.schedule_after(service, [this] {
+    busy_ = false;
+    busy_time_ += sim_.now() - service_start_;
+    ++completed_;
+    // Move out before starting the next job: on_complete may resubmit.
+    Job done = std::move(in_flight_);
+    start_next();
+    if (done.on_complete) done.on_complete(sim_.now(), done);
+  });
+}
+
+}  // namespace anu::sim

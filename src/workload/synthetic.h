@@ -1,0 +1,54 @@
+// Synthetic workload generator — the paper's primary workload (§5.1–5.2).
+//
+// "The synthetic workload consists of 66,401 requests against 50 file sets
+// in a period of two hundred minutes. The request inter-arrival times in
+// each file set are governed by a Pareto distribution that is heavy-tailed."
+// "The total amount of workload in each file set is defined as Xc where X is
+// randomly chosen from interval [1,10] and c is a scaling factor tuned to
+// avoid overload of the whole system."
+//
+// Construction: each file set i draws X_i ~ U[1,10]; its share of the total
+// request budget is X_i / sum(X). Arrivals within a file set are a renewal
+// process with bounded-Pareto inter-arrivals, rescaled so the stream spans
+// the run. Per-request demand carries mild lognormal jitter; the scaling
+// factor c is solved from the target cluster utilization (offered load /
+// total capacity), which is how "tuned to avoid overload" is realized.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace anu::workload {
+
+struct SyntheticConfig {
+  std::uint64_t seed = 42;
+  std::size_t file_set_count = 50;
+  std::size_t request_count = 66'401;
+  /// Run length, seconds. Paper: 200 minutes.
+  SimTime duration = 200.0 * 60.0;
+  /// Pareto shape for inter-arrival times; 1 < alpha < 2 is the classic
+  /// heavy-tailed regime (finite mean, infinite variance before bounding).
+  double pareto_shape = 1.3;
+  /// Tail bound ratio hi/lo for the bounded Pareto.
+  double pareto_bound_ratio = 1e4;
+  /// File-set weight factor X range (paper: [1, 10]).
+  double weight_lo = 1.0;
+  double weight_hi = 10.0;
+  /// Target offered-load / total-cluster-capacity; determines c.
+  /// Must leave headroom or the weakest placement diverges unboundedly.
+  double target_utilization = 0.55;
+  /// Total cluster capacity in unit-speed units (paper cluster: 1+3+5+7+9).
+  double cluster_capacity = 25.0;
+  /// Lognormal sigma for per-request demand jitter (0 = constant demand).
+  double demand_jitter_sigma = 0.25;
+};
+
+/// Generates the full replayable workload. Deterministic in the config.
+[[nodiscard]] Workload make_synthetic_workload(const SyntheticConfig& config);
+
+/// The mean per-request service demand implied by a config (unit-speed
+/// seconds); exposed for tests and for capacity planning in examples.
+[[nodiscard]] double synthetic_mean_demand(const SyntheticConfig& config);
+
+}  // namespace anu::workload

@@ -1,0 +1,69 @@
+// Workload model: file sets and request streams.
+//
+// Paper §3: the file set — a subtree of the global namespace — is "the
+// indivisible unit of workload assignment and movement". A workload is a set
+// of file sets plus a time-ordered stream of metadata requests, each
+// belonging to one file set and carrying a service demand (seconds of work
+// at unit server speed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace anu::workload {
+
+struct FileSet {
+  FileSetId id;
+  /// Unique name; the hash family addresses file sets by this (paper §4:
+  /// "such as a pathname or content fingerprint").
+  std::string name;
+  /// Total offered work of this file set over the run, in unit-speed
+  /// seconds. §5.1: "the total amount of workload in each file set is
+  /// defined as Xc where X is randomly chosen from interval [1,10]".
+  double weight = 0.0;
+};
+
+struct Request {
+  SimTime arrival = 0.0;
+  FileSetId file_set;
+  /// Service demand in unit-speed seconds.
+  double demand = 0.0;
+};
+
+/// A complete, replayable workload: requests are sorted by arrival time.
+class Workload {
+ public:
+  Workload() = default;
+  Workload(std::vector<FileSet> file_sets, std::vector<Request> requests);
+
+  [[nodiscard]] const std::vector<FileSet>& file_sets() const {
+    return file_sets_;
+  }
+  [[nodiscard]] const std::vector<Request>& requests() const {
+    return requests_;
+  }
+  [[nodiscard]] const FileSet& file_set(FileSetId id) const;
+
+  [[nodiscard]] std::size_t file_set_count() const { return file_sets_.size(); }
+  [[nodiscard]] std::size_t request_count() const { return requests_.size(); }
+
+  /// Sum of all file-set weights.
+  [[nodiscard]] double total_weight() const;
+  /// Sum of all request demands (should approximate total_weight()).
+  [[nodiscard]] double total_demand() const;
+  /// Latest request arrival (0 when empty).
+  [[nodiscard]] SimTime span() const;
+  /// Requests per file set.
+  [[nodiscard]] std::vector<std::size_t> requests_per_file_set() const;
+  /// Offered demand per file set (unit-speed seconds).
+  [[nodiscard]] std::vector<double> demand_per_file_set() const;
+
+ private:
+  std::vector<FileSet> file_sets_;
+  std::vector<Request> requests_;
+};
+
+}  // namespace anu::workload

@@ -1,0 +1,116 @@
+// Tests for the prescient min-latency assignment (LPT + local search).
+#include "balance/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace anu::balance {
+namespace {
+
+TEST(Assignment, SingleServerTakesAll) {
+  const auto placement = assign_min_latency({1.0, 2.0, 3.0}, {2.0});
+  for (const auto s : placement) EXPECT_EQ(s, ServerId(0));
+}
+
+TEST(Assignment, DownServersReceiveNothing) {
+  const auto placement =
+      assign_min_latency({1.0, 2.0, 3.0, 4.0}, {0.0, 1.0, 0.0, 1.0});
+  for (const auto s : placement) {
+    EXPECT_TRUE(s == ServerId(1) || s == ServerId(3));
+  }
+}
+
+TEST(Assignment, EqualItemsEqualServersSplitEvenly) {
+  const auto placement =
+      assign_min_latency(std::vector<double>(8, 1.0), {1.0, 1.0});
+  std::size_t on0 = 0;
+  for (const auto s : placement) on0 += s == ServerId(0) ? 1u : 0u;
+  EXPECT_EQ(on0, 4u);
+}
+
+TEST(Assignment, LoadProportionalToSpeed) {
+  // Many small items on the paper's 1/3/5/7/9 cluster: normalized loads
+  // should equalize, i.e. raw load tracks speed.
+  const std::vector<double> speeds{1.0, 3.0, 5.0, 7.0, 9.0};
+  std::vector<double> demands(500, 1.0);
+  const auto placement = assign_min_latency(demands, speeds);
+  std::vector<double> load(5, 0.0);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    load[placement[i].value()] += demands[i];
+  }
+  const double total = 500.0;
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_NEAR(load[s] / total, speeds[s] / 25.0, 0.02) << "server " << s;
+  }
+}
+
+TEST(Assignment, ObjectiveNoWorseThanRoundRobin) {
+  Xoshiro256 rng(42);
+  std::vector<double> demands(60);
+  for (auto& d : demands) d = 1.0 + rng.next_double() * 9.0;
+  const std::vector<double> speeds{1.0, 3.0, 5.0, 7.0, 9.0};
+  const auto smart = assign_min_latency(demands, speeds);
+  std::vector<ServerId> naive(demands.size());
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    naive[i] = ServerId(static_cast<std::uint32_t>(i % 5));
+  }
+  EXPECT_LE(max_normalized_load(smart, demands, speeds),
+            max_normalized_load(naive, demands, speeds));
+}
+
+TEST(Assignment, NearLowerBound) {
+  // max normalized load can never beat total/sum(speeds); LPT+polish should
+  // land within 20% of that bound on a generic instance.
+  Xoshiro256 rng(7);
+  std::vector<double> demands(50);
+  double total = 0.0;
+  for (auto& d : demands) {
+    d = 1.0 + rng.next_double() * 9.0;
+    total += d;
+  }
+  const std::vector<double> speeds{1.0, 3.0, 5.0, 7.0, 9.0};
+  const auto placement = assign_min_latency(demands, speeds);
+  const double bound = total / 25.0;
+  EXPECT_LE(max_normalized_load(placement, demands, speeds), bound * 1.2);
+}
+
+TEST(Assignment, Deterministic) {
+  std::vector<double> demands{5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0};
+  const std::vector<double> speeds{1.0, 2.0, 3.0};
+  EXPECT_EQ(assign_min_latency(demands, speeds),
+            assign_min_latency(demands, speeds));
+}
+
+TEST(Assignment, ZeroDemandItemsPlacedOnUpServer) {
+  const auto placement = assign_min_latency({0.0, 0.0}, {0.0, 5.0});
+  for (const auto s : placement) EXPECT_EQ(s, ServerId(1));
+}
+
+TEST(Assignment, RefinementImprovesOrMatchesPureLpt) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> demands(30);
+    for (auto& d : demands) d = rng.next_double() * 10.0;
+    const std::vector<double> speeds{1.0, 3.0, 5.0, 7.0, 9.0};
+    AssignmentConfig no_refine;
+    no_refine.refine_passes = 0;
+    const auto raw = assign_min_latency(demands, speeds, no_refine);
+    const auto polished = assign_min_latency(demands, speeds);
+    EXPECT_LE(max_normalized_load(polished, demands, speeds),
+              max_normalized_load(raw, demands, speeds) + 1e-12);
+  }
+}
+
+TEST(MaxNormalizedLoad, ComputesCorrectly) {
+  const std::vector<ServerId> placement{ServerId(0), ServerId(1), ServerId(1)};
+  const double worst =
+      max_normalized_load(placement, {2.0, 3.0, 3.0}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(worst, 3.0);  // server 1: 6/2 = 3 > server 0: 2/1 = 2
+}
+
+}  // namespace
+}  // namespace anu::balance

@@ -1,0 +1,238 @@
+// Tests for the baseline balancers: simple randomization, dynamic
+// prescient, and the virtual-processor system.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "balance/prescient.h"
+#include "balance/simple_random.h"
+#include "balance/virtual_processor.h"
+
+namespace anu::balance {
+namespace {
+
+std::vector<workload::FileSet> make_file_sets(std::size_t n,
+                                              double weight = 1.0) {
+  std::vector<workload::FileSet> fs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fs.push_back({FileSetId(i), "fs/" + std::to_string(i), weight});
+  }
+  return fs;
+}
+
+// --- simple randomization ------------------------------------------------
+
+TEST(SimpleRandom, StaticPlacement) {
+  SimpleRandomBalancer bal(5);
+  bal.register_file_sets(make_file_sets(50));
+  std::vector<ServerId> before(50);
+  for (std::uint32_t i = 0; i < 50; ++i) before[i] = bal.server_for(FileSetId(i));
+  EXPECT_EQ(bal.tune().moved_count(), 0u);  // never reacts to load
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(bal.server_for(FileSetId(i)), before[i]);
+  }
+}
+
+TEST(SimpleRandom, RoughlyUniformOverServers) {
+  SimpleRandomBalancer bal(5);
+  const std::size_t kSets = 5000;
+  bal.register_file_sets(make_file_sets(kSets));
+  std::vector<std::size_t> counts(5, 0);
+  for (std::uint32_t i = 0; i < kSets; ++i) {
+    ++counts[bal.server_for(FileSetId(i)).value()];
+  }
+  for (auto c : counts) EXPECT_NEAR(static_cast<double>(c), kSets / 5.0, kSets / 5.0 * 0.15);
+}
+
+TEST(SimpleRandom, FailureMovesOnlyAffectedFileSets) {
+  SimpleRandomBalancer bal(5);
+  bal.register_file_sets(make_file_sets(100));
+  std::set<std::uint32_t> on2;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (bal.server_for(FileSetId(i)) == ServerId(2)) on2.insert(i);
+  }
+  const auto moves = bal.on_server_failed(ServerId(2));
+  EXPECT_EQ(moves.moved_count(), on2.size());
+  for (const auto& move : moves.moves) {
+    EXPECT_TRUE(on2.count(move.file_set.value()));
+    EXPECT_NE(move.to, ServerId(2));
+  }
+}
+
+TEST(SimpleRandom, RecoveryRestoresOriginalPlacement) {
+  SimpleRandomBalancer bal(5);
+  bal.register_file_sets(make_file_sets(100));
+  std::vector<ServerId> before(100);
+  for (std::uint32_t i = 0; i < 100; ++i) before[i] = bal.server_for(FileSetId(i));
+  bal.on_server_failed(ServerId(1));
+  bal.on_server_recovered(ServerId(1));
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(bal.server_for(FileSetId(i)), before[i]);
+  }
+}
+
+TEST(SimpleRandom, SharedStateTiny) {
+  SimpleRandomBalancer bal(5);
+  EXPECT_EQ(bal.shared_state_bytes(), 20u);
+}
+
+// --- dynamic prescient ----------------------------------------------------
+
+TEST(Prescient, BalancedFromTimeZero) {
+  PrescientBalancer bal(5);
+  OracleView oracle;
+  oracle.file_set_demand.assign(50, 1.0);
+  oracle.server_speeds = {1.0, 3.0, 5.0, 7.0, 9.0};
+  bal.set_oracle(oracle);
+  bal.register_file_sets(make_file_sets(50));
+  std::vector<double> load(5, 0.0);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    load[bal.server_for(FileSetId(i)).value()] += 1.0;
+  }
+  // Normalized loads close to each other right at registration (§5.2.1:
+  // "keeps the system balanced from the very beginning, time 0").
+  double lo = 1e18, hi = 0.0;
+  for (std::size_t s = 0; s < 5; ++s) {
+    const double norm = load[s] / oracle.server_speeds[s];
+    lo = std::min(lo, norm);
+    hi = std::max(hi, norm);
+  }
+  EXPECT_LT(hi - lo, 1.5);
+}
+
+TEST(Prescient, TracksOracleDemandChanges) {
+  PrescientBalancer bal(2);
+  OracleView oracle;
+  oracle.file_set_demand = {10.0, 1.0, 1.0};
+  oracle.server_speeds = {1.0, 1.0};
+  bal.set_oracle(oracle);
+  bal.register_file_sets(make_file_sets(3));
+  // The heavy file set sits alone on one server.
+  const ServerId heavy = bal.server_for(FileSetId(0));
+  EXPECT_NE(bal.server_for(FileSetId(1)), heavy);
+  EXPECT_NE(bal.server_for(FileSetId(2)), heavy);
+  // Flip the weights: placement follows.
+  oracle.file_set_demand = {1.0, 1.0, 10.0};
+  bal.set_oracle(oracle);
+  bal.tune();
+  const ServerId heavy2 = bal.server_for(FileSetId(2));
+  EXPECT_NE(bal.server_for(FileSetId(0)), heavy2);
+  EXPECT_NE(bal.server_for(FileSetId(1)), heavy2);
+}
+
+TEST(Prescient, FailureExcludesServer) {
+  PrescientBalancer bal(3);
+  OracleView oracle;
+  oracle.file_set_demand.assign(12, 1.0);
+  oracle.server_speeds = {1.0, 1.0, 1.0};
+  bal.set_oracle(oracle);
+  bal.register_file_sets(make_file_sets(12));
+  bal.on_server_failed(ServerId(0));
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    EXPECT_NE(bal.server_for(FileSetId(i)), ServerId(0));
+  }
+}
+
+TEST(Prescient, SharedStateGrowsWithFileSets) {
+  PrescientBalancer bal(5);
+  bal.register_file_sets(make_file_sets(50));
+  EXPECT_EQ(bal.shared_state_bytes(), 50u * 4 + 5u * 8);
+}
+
+// --- virtual processors ---------------------------------------------------
+
+TEST(VirtualProcessor, VpCountIsNTimesV) {
+  VirtualProcessorConfig config;
+  config.vp_per_server = 5;
+  VirtualProcessorBalancer bal(config, 5);
+  EXPECT_EQ(bal.vp_count(), 25u);
+}
+
+TEST(VirtualProcessor, FileSetToVpIsStable) {
+  VirtualProcessorConfig config;
+  VirtualProcessorBalancer bal(config, 5);
+  const auto fs = make_file_sets(50);
+  bal.register_file_sets(fs);
+  std::vector<VpId> vp_before(50);
+  for (std::uint32_t i = 0; i < 50; ++i) vp_before[i] = bal.vp_of(FileSetId(i));
+  OracleView oracle;
+  oracle.file_set_demand.assign(50, 2.0);
+  oracle.server_speeds = {1.0, 3.0, 5.0, 7.0, 9.0};
+  bal.set_oracle(oracle);
+  bal.tune();
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(bal.vp_of(FileSetId(i)), vp_before[i]);  // VP membership fixed
+  }
+}
+
+TEST(VirtualProcessor, FileSetsInSameVpMoveTogether) {
+  VirtualProcessorConfig config;
+  config.vp_per_server = 2;
+  VirtualProcessorBalancer bal(config, 2);
+  const auto fs = make_file_sets(40);
+  bal.register_file_sets(fs);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    for (std::uint32_t j = 0; j < 40; ++j) {
+      if (bal.vp_of(FileSetId(i)) == bal.vp_of(FileSetId(j))) {
+        EXPECT_EQ(bal.server_for(FileSetId(i)), bal.server_for(FileSetId(j)));
+      }
+    }
+  }
+}
+
+TEST(VirtualProcessor, MoreVpsGiveFinerBalance) {
+  // The Fig. 8 tradeoff at its core: normalized-load imbalance shrinks as
+  // the VP population grows.
+  auto imbalance = [](std::size_t v) {
+    VirtualProcessorConfig config;
+    config.vp_per_server = v;
+    VirtualProcessorBalancer bal(config, 5);
+    const auto fs = make_file_sets(50);
+    OracleView oracle;
+    oracle.file_set_demand.assign(50, 1.0);
+    oracle.server_speeds = {1.0, 3.0, 5.0, 7.0, 9.0};
+    bal.set_oracle(oracle);
+    bal.register_file_sets(fs);
+    std::vector<double> load(5, 0.0);
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      load[bal.server_for(FileSetId(i)).value()] += 1.0;
+    }
+    double lo = 1e18, hi = 0.0;
+    for (std::size_t s = 0; s < 5; ++s) {
+      const double norm = load[s] / oracle.server_speeds[s];
+      lo = std::min(lo, norm);
+      hi = std::max(hi, norm);
+    }
+    return hi - lo;
+  };
+  EXPECT_LE(imbalance(10), imbalance(1));
+}
+
+TEST(VirtualProcessor, SharedStateGrowsWithV) {
+  VirtualProcessorConfig small;
+  small.vp_per_server = 1;
+  VirtualProcessorConfig large;
+  large.vp_per_server = 10;
+  VirtualProcessorBalancer a(small, 5), b(large, 5);
+  EXPECT_LT(a.shared_state_bytes(), b.shared_state_bytes());
+  EXPECT_EQ(b.shared_state_bytes(), 50u * large.bytes_per_vp);
+}
+
+TEST(VirtualProcessor, FailureExcludesServer) {
+  VirtualProcessorConfig config;
+  VirtualProcessorBalancer bal(config, 3);
+  OracleView oracle;
+  oracle.file_set_demand.assign(30, 1.0);
+  oracle.server_speeds = {1.0, 1.0, 1.0};
+  VirtualProcessorBalancer bal2(config, 3);
+  bal2.set_oracle(oracle);
+  bal2.register_file_sets(make_file_sets(30));
+  bal2.on_server_failed(ServerId(1));
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    EXPECT_NE(bal2.server_for(FileSetId(i)), ServerId(1));
+  }
+}
+
+}  // namespace
+}  // namespace anu::balance

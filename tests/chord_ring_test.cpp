@@ -1,0 +1,194 @@
+// Tests for the Chord-style ring (the §5.4 footnote's alternative to
+// replicating the virtual-processor address table).
+#include "balance/chord_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace anu::balance {
+namespace {
+
+TEST(ChordRing, SingleNodeOwnsEverything) {
+  const ChordRing ring(1);
+  for (std::uint64_t key : {0ull, 42ull, ~0ull}) {
+    const auto result = ring.lookup_from(0, key);
+    EXPECT_EQ(result.node, 0u);
+    EXPECT_EQ(result.hops, 0u);
+  }
+}
+
+TEST(ChordRing, FingerWalkMatchesDirectSuccessor) {
+  const ChordRing ring(64);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t key = rng.next();
+    const auto start = static_cast<std::uint32_t>(rng.next_below(64));
+    EXPECT_EQ(ring.lookup_from(start, key).node, ring.successor_of(key));
+  }
+}
+
+TEST(ChordRing, InvariantsHold) {
+  for (std::size_t n : {1u, 2u, 5u, 33u, 128u}) {
+    const ChordRing ring(n);
+    ring.check_invariants();  // aborts on violation
+  }
+}
+
+TEST(ChordRing, HopsAreLogarithmic) {
+  // Chord's guarantee: O(log n) hops. Check the empirical mean stays below
+  // log2(n) and the max below 2*log2(n) across random lookups.
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    const ChordRing ring(n);
+    Xoshiro256 rng(n);
+    double total = 0.0;
+    std::uint32_t worst = 0;
+    constexpr int kLookups = 2'000;
+    for (int i = 0; i < kLookups; ++i) {
+      const auto result = ring.lookup_from(
+          static_cast<std::uint32_t>(rng.next_below(n)), rng.next());
+      total += result.hops;
+      worst = std::max(worst, result.hops);
+    }
+    const double log2n = std::log2(static_cast<double>(n));
+    EXPECT_LE(total / kLookups, log2n) << "n=" << n;
+    EXPECT_LE(worst, static_cast<std::uint32_t>(2.0 * log2n) + 2) << "n=" << n;
+  }
+}
+
+TEST(ChordRing, LookupByNameIsDeterministic) {
+  const ChordRing a(32), b(32);
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = "vp/" + std::to_string(i);
+    EXPECT_EQ(a.lookup(name).node, b.lookup(name).node);
+  }
+}
+
+TEST(ChordRing, PayloadRoundTrip) {
+  ChordRing ring(8);
+  ring.set_payload(3, ServerId(7));
+  EXPECT_EQ(ring.payload(3), ServerId(7));
+  EXPECT_FALSE(ring.payload(4).valid());
+}
+
+TEST(ChordRing, PerNodeStateIsLogNotLinear) {
+  const ChordRing small(16), large(1024);
+  // Distinct finger entries grow ~log n: doubling the ring six times adds
+  // ~6 entries, versus an O(n) replicated table.
+  EXPECT_LT(small.per_node_state_bytes(), large.per_node_state_bytes());
+  EXPECT_LT(large.per_node_state_bytes(), 8u + 24u * 12u);  // ~2*log2(n) cap
+  EXPECT_LT(large.per_node_state_bytes(), 1024u * 16u);
+}
+
+TEST(ChordRing, KeysSpreadAcrossNodes) {
+  const ChordRing ring(32);
+  Xoshiro256 rng(9);
+  std::vector<int> hits(32, 0);
+  for (int i = 0; i < 20'000; ++i) ++hits[ring.successor_of(rng.next())];
+  int nonzero = 0;
+  for (int h : hits) nonzero += h > 0 ? 1 : 0;
+  EXPECT_EQ(nonzero, 32);  // every node owns a slice
+}
+
+
+TEST(ChordRingChurn, JoinTakesOverExactlyItsArc) {
+  // Consistent hashing's minimal disruption: after a join, only keys in
+  // (predecessor, new-position] change owner, and they all go to the new
+  // node.
+  ChordRing ring(16);
+  Xoshiro256 rng(21);
+  std::vector<std::uint64_t> keys(5'000);
+  for (auto& k : keys) k = rng.next();
+  std::vector<std::uint64_t> before(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    before[i] = ring.position_of(ring.successor_of(keys[i]));
+  }
+  const std::uint64_t new_pos = 0x7777777777777777ULL;
+  const auto joined = ring.add_node(new_pos, ServerId(42));
+  ring.check_invariants();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto now = ring.successor_of(keys[i]);
+    if (ring.position_of(now) == new_pos) {
+      EXPECT_EQ(now, joined);
+    } else {
+      // Unmoved keys keep their old owner (identified by position — the
+      // array index may have shifted).
+      EXPECT_EQ(ring.position_of(now), before[i]) << "key " << keys[i];
+    }
+  }
+}
+
+TEST(ChordRingChurn, LeaveHandsKeysToSuccessor) {
+  ChordRing ring(16);
+  Xoshiro256 rng(22);
+  const std::uint32_t victim = 5;
+  const std::uint64_t victim_pos = ring.position_of(victim);
+  const std::uint64_t successor_pos =
+      ring.position_of((victim + 1) % 16);
+  std::vector<std::uint64_t> keys(5'000);
+  for (auto& k : keys) k = rng.next();
+  std::vector<std::uint64_t> before(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    before[i] = ring.position_of(ring.successor_of(keys[i]));
+  }
+  ring.remove_node(victim);
+  ring.check_invariants();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint64_t now = ring.position_of(ring.successor_of(keys[i]));
+    if (before[i] == victim_pos) {
+      EXPECT_EQ(now, successor_pos);
+    } else {
+      EXPECT_EQ(now, before[i]);
+    }
+  }
+}
+
+TEST(ChordRingChurn, LookupCorrectAfterChurn) {
+  ChordRing ring(8);
+  Xoshiro256 rng(23);
+  for (int round = 0; round < 20; ++round) {
+    if (ring.node_count() < 4 || (ring.node_count() < 64 && rng.next_below(2))) {
+      ring.add_node(rng.next());
+    } else {
+      ring.remove_node(
+          static_cast<std::uint32_t>(rng.next_below(ring.node_count())));
+    }
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t key = rng.next();
+      const auto start =
+          static_cast<std::uint32_t>(rng.next_below(ring.node_count()));
+      ASSERT_EQ(ring.lookup_from(start, key).node, ring.successor_of(key));
+    }
+  }
+}
+
+TEST(ChordRingChurn, DuplicatePositionRejected) {
+  ChordRing ring(4);
+  EXPECT_DEATH(ring.add_node(ring.position_of(2)), "precondition");
+}
+
+TEST(ChordRingChurn, CannotEmptyTheRing) {
+  ChordRing ring(1);
+  EXPECT_DEATH(ring.remove_node(0), "precondition");
+}
+
+TEST(ChordRingChurn, PayloadSurvivesOtherNodesChurn) {
+  ChordRing ring(8);
+  const std::uint64_t marked_pos = ring.position_of(3);
+  ring.set_payload(3, ServerId(9));
+  ring.add_node(0x1234512345ULL);  // may shift indices
+  ring.remove_node(0);
+  // Find the marked node by position and check its payload survived.
+  for (std::uint32_t i = 0; i < ring.node_count(); ++i) {
+    if (ring.position_of(i) == marked_pos) {
+      EXPECT_EQ(ring.payload(i), ServerId(9));
+      return;
+    }
+  }
+  FAIL() << "marked node disappeared";
+}
+
+}  // namespace
+}  // namespace anu::balance

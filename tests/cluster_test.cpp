@@ -1,0 +1,116 @@
+// Tests for the cluster model: servers, membership, failure schedules.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/failure_schedule.h"
+
+namespace anu::cluster {
+namespace {
+
+TEST(Server, ServesAndReportsInterval) {
+  sim::Simulation sim;
+  Server server(sim, ServerId(0), 2.0);
+  server.submit(FileSetId(0), 4.0);  // 2 seconds of service
+  sim.run_to_completion();
+  const auto report = server.take_interval_report();
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_DOUBLE_EQ(report.mean_latency, 2.0);
+  // Interval stats reset after the report; lifetime stats persist.
+  const auto empty = server.take_interval_report();
+  EXPECT_EQ(empty.completed, 0u);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(Server, CompletionObserverFires) {
+  sim::Simulation sim;
+  Server server(sim, ServerId(3), 1.0);
+  Completion seen{};
+  server.on_complete = [&](const Completion& c) { seen = c; };
+  server.submit(FileSetId(7), 5.0);
+  sim.run_to_completion();
+  EXPECT_EQ(seen.server, ServerId(3));
+  EXPECT_EQ(seen.file_set, FileSetId(7));
+  EXPECT_DOUBLE_EQ(seen.latency(), 5.0);
+}
+
+TEST(Server, FailFlushesThroughCallback) {
+  sim::Simulation sim;
+  Server server(sim, ServerId(0), 1.0);
+  std::vector<std::uint32_t> flushed;
+  server.on_flush = [&](FileSetId fs, double) {
+    flushed.push_back(fs.value());
+  };
+  server.submit(FileSetId(1), 100.0);
+  server.submit(FileSetId(2), 100.0);
+  sim.schedule_at(1.0, [&] { server.fail(); });
+  sim.run_to_completion();
+  EXPECT_EQ(flushed, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_FALSE(server.is_up());
+}
+
+TEST(Cluster, PaperConfiguration) {
+  sim::Simulation sim;
+  Cluster c(sim, paper_cluster());
+  EXPECT_EQ(c.server_count(), 5u);
+  EXPECT_DOUBLE_EQ(c.total_capacity(), 25.0);
+  EXPECT_DOUBLE_EQ(c.server(ServerId(0)).speed(), 1.0);
+  EXPECT_DOUBLE_EQ(c.server(ServerId(4)).speed(), 9.0);
+}
+
+TEST(Cluster, FailureAffectsCapacityAndUpCount) {
+  sim::Simulation sim;
+  Cluster c(sim, paper_cluster());
+  c.fail_server(ServerId(4));
+  EXPECT_EQ(c.up_count(), 4u);
+  EXPECT_DOUBLE_EQ(c.total_capacity(), 16.0);
+  EXPECT_DOUBLE_EQ(c.up_speeds()[4], 0.0);
+  c.recover_server(ServerId(4));
+  EXPECT_EQ(c.up_count(), 5u);
+}
+
+TEST(Cluster, AddServerGetsNextId) {
+  sim::Simulation sim;
+  Cluster c(sim, paper_cluster());
+  const ServerId id = c.add_server(4.0);
+  EXPECT_EQ(id, ServerId(5));
+  EXPECT_EQ(c.server_count(), 6u);
+  EXPECT_DOUBLE_EQ(c.total_capacity(), 29.0);
+}
+
+TEST(Cluster, CompletionForwardedToObserver) {
+  sim::Simulation sim;
+  Cluster c(sim, paper_cluster());
+  int completions = 0;
+  c.on_complete = [&](const Completion&) { ++completions; };
+  c.submit(ServerId(2), FileSetId(0), 1.0);
+  sim.run_to_completion();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(FailureSchedule, RandomFailRecoverIsWellFormed) {
+  const auto schedule =
+      FailureSchedule::random_fail_recover(1, 5, 4, 4000.0, 100.0);
+  ASSERT_EQ(schedule.events().size(), 8u);
+  double last = 0.0;
+  for (std::size_t i = 0; i < schedule.events().size(); i += 2) {
+    const auto& fail = schedule.events()[i];
+    const auto& recover = schedule.events()[i + 1];
+    EXPECT_EQ(fail.action, MembershipAction::kFail);
+    EXPECT_EQ(recover.action, MembershipAction::kRecover);
+    EXPECT_EQ(fail.server, recover.server);
+    EXPECT_DOUBLE_EQ(recover.when - fail.when, 100.0);
+    EXPECT_GE(fail.when, last);
+    last = recover.when;
+  }
+}
+
+TEST(FailureSchedule, AddEnforcesOrder) {
+  FailureSchedule schedule;
+  schedule.add({10.0, MembershipAction::kFail, ServerId(0), 0.0});
+  EXPECT_DEATH(
+      schedule.add({5.0, MembershipAction::kRecover, ServerId(0), 0.0}),
+      "precondition");
+}
+
+}  // namespace
+}  // namespace anu::cluster

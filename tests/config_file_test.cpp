@@ -1,0 +1,176 @@
+// Tests for the anu_sim configuration parser.
+#include "driver/config_file.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace anu::driver {
+namespace {
+
+std::optional<SimSpec> parse(const std::string& text,
+                             ConfigError* error = nullptr) {
+  std::istringstream is(text);
+  return parse_sim_config(is, error);
+}
+
+TEST(ConfigFile, EmptyConfigYieldsDefaults) {
+  const auto spec = parse("");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->system.kind, SystemKind::kAnu);
+  EXPECT_EQ(spec->workload, SimSpec::WorkloadKind::kSynthetic);
+  EXPECT_EQ(spec->experiment.cluster.server_speeds.size(), 5u);
+}
+
+TEST(ConfigFile, ParsesFullSyntheticSpec) {
+  const auto spec = parse(
+      "# comment\n"
+      "workload synthetic\n"
+      "seed 7\n"
+      "file_sets 20\n"
+      "requests 1000\n"
+      "duration_min 10\n"
+      "utilization 0.4\n"
+      "speeds 1 2 4\n"
+      "system vp\n"
+      "vp_per_server 3\n"
+      "tuning_interval_s 60\n"
+      "move_penalty_s 2.5\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->synthetic.seed, 7u);
+  EXPECT_EQ(spec->synthetic.file_set_count, 20u);
+  EXPECT_EQ(spec->synthetic.request_count, 1000u);
+  EXPECT_DOUBLE_EQ(spec->synthetic.duration, 600.0);
+  EXPECT_DOUBLE_EQ(spec->synthetic.target_utilization, 0.4);
+  EXPECT_EQ(spec->experiment.cluster.server_speeds,
+            (std::vector<double>{1.0, 2.0, 4.0}));
+  EXPECT_EQ(spec->system.kind, SystemKind::kVirtualProcessor);
+  EXPECT_EQ(spec->system.vp.vp_per_server, 3u);
+  EXPECT_DOUBLE_EQ(spec->experiment.tuning_interval, 60.0);
+  EXPECT_DOUBLE_EQ(spec->experiment.move_warmup_penalty, 2.5);
+  // Capacity follows the declared speeds.
+  EXPECT_DOUBLE_EQ(spec->synthetic.cluster_capacity, 7.0);
+}
+
+TEST(ConfigFile, ParsesMembershipEvents) {
+  const auto spec = parse(
+      "fail 30 1\n"
+      "recover 50 1\n"
+      "add 80 9.0\n"
+      "remove 120 0\n");
+  ASSERT_TRUE(spec.has_value());
+  const auto& events = spec->experiment.failures.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].action, cluster::MembershipAction::kFail);
+  EXPECT_DOUBLE_EQ(events[0].when, 1800.0);
+  EXPECT_EQ(events[0].server, ServerId(1));
+  EXPECT_EQ(events[2].action, cluster::MembershipAction::kAdd);
+  EXPECT_DOUBLE_EQ(events[2].speed, 9.0);
+  EXPECT_EQ(events[3].action, cluster::MembershipAction::kRemove);
+}
+
+TEST(ConfigFile, RejectsOutOfOrderEvents) {
+  ConfigError error;
+  EXPECT_FALSE(parse("fail 50 1\nrecover 30 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+}
+
+TEST(ConfigFile, RejectsUnknownKey) {
+  ConfigError error;
+  EXPECT_FALSE(parse("bogus 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_NE(error.message.find("bogus"), std::string::npos);
+}
+
+TEST(ConfigFile, RejectsBadValues) {
+  EXPECT_FALSE(parse("utilization 1.5\n").has_value());
+  EXPECT_FALSE(parse("utilization 0\n").has_value());
+  EXPECT_FALSE(parse("speeds\n").has_value());
+  EXPECT_FALSE(parse("speeds 1 -2\n").has_value());
+  EXPECT_FALSE(parse("system nope\n").has_value());
+  EXPECT_FALSE(parse("workload nope\n").has_value());
+  EXPECT_FALSE(parse("file_sets 0\n").has_value());
+  EXPECT_FALSE(parse("placement_choices 9\n").has_value());
+  EXPECT_FALSE(parse("seed\n").has_value());
+}
+
+TEST(ConfigFile, CacheModelKeys) {
+  const auto spec = parse("cache_penalty_x 3.5\ncache_warmup_requests 7\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(spec->experiment.cluster.cache.enabled);
+  EXPECT_DOUBLE_EQ(spec->experiment.cluster.cache.cold_penalty_factor, 3.5);
+  EXPECT_EQ(spec->experiment.cluster.cache.warmup_requests, 7u);
+}
+
+TEST(ConfigFile, CachePenaltyOneDisablesModel) {
+  const auto spec = parse("cache_penalty_x 1\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->experiment.cluster.cache.enabled);
+}
+
+TEST(ConfigFile, RejectsSubUnityCachePenalty) {
+  EXPECT_FALSE(parse("cache_penalty_x 0.5\n").has_value());
+  EXPECT_FALSE(parse("cache_warmup_requests 0\n").has_value());
+}
+
+TEST(ConfigFile, TraceFileImpliesTraceWorkload) {
+  const auto spec = parse("trace_file /tmp/x.trace\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->workload, SimSpec::WorkloadKind::kTrace);
+  EXPECT_EQ(spec->trace_file, "/tmp/x.trace");
+}
+
+TEST(ConfigFile, PlacementChoicesFlowsToAnuConfig) {
+  const auto spec = parse("placement_choices 2\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->system.anu.placement_choices, 2u);
+}
+
+TEST(ConfigFile, BuildWorkloadSynthetic) {
+  auto spec = parse("file_sets 5\nrequests 100\nduration_min 1\n");
+  ASSERT_TRUE(spec.has_value());
+  const auto workload = build_workload(*spec);
+  ASSERT_TRUE(workload.has_value());
+  EXPECT_EQ(workload->file_set_count(), 5u);
+  EXPECT_EQ(workload->request_count(), 100u);
+}
+
+TEST(ConfigFile, BuildWorkloadSynthesizedTrace) {
+  auto spec = parse("workload trace\nfile_sets 4\nrequests 200\n"
+                    "duration_min 2\n");
+  ASSERT_TRUE(spec.has_value());
+  const auto workload = build_workload(*spec);
+  ASSERT_TRUE(workload.has_value());
+  EXPECT_EQ(workload->file_set_count(), 4u);
+}
+
+TEST(ConfigFile, BuildWorkloadMissingTraceFileFails) {
+  auto spec = parse("trace_file /nonexistent/x.trace\n");
+  ASSERT_TRUE(spec.has_value());
+  ConfigError error;
+  EXPECT_FALSE(build_workload(*spec, &error).has_value());
+  EXPECT_NE(error.message.find("/nonexistent/x.trace"), std::string::npos);
+}
+
+TEST(ConfigFile, MissingFileReportsError) {
+  ConfigError error;
+  EXPECT_FALSE(parse_sim_config_file("/nonexistent/anu.conf", &error)
+                   .has_value());
+  EXPECT_EQ(error.line, 0u);
+}
+
+TEST(ConfigFile, EndToEndSmallRun) {
+  auto spec = parse(
+      "file_sets 8\nrequests 500\nduration_min 5\nsystem anu\n"
+      "tuning_interval_s 30\nfail 2 4\nrecover 3 4\n");
+  ASSERT_TRUE(spec.has_value());
+  const auto workload = build_workload(*spec);
+  ASSERT_TRUE(workload.has_value());
+  auto balancer = make_balancer(spec->system,
+                                spec->experiment.cluster.server_speeds.size());
+  const auto result = run_experiment(spec->experiment, *workload, *balancer);
+  EXPECT_GT(result.requests_completed, 400u);
+}
+
+}  // namespace
+}  // namespace anu::driver

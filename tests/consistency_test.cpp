@@ -1,0 +1,66 @@
+// Tests for the performance-consistency metric (paper §5.2.2).
+#include "metrics/consistency.h"
+
+#include <gtest/gtest.h>
+
+namespace anu::metrics {
+namespace {
+
+RunningStats stats_with(double mean, std::size_t count) {
+  RunningStats s;
+  for (std::size_t i = 0; i < count; ++i) s.add(mean);
+  return s;
+}
+
+TEST(Consistency, PerfectlyConsistentClusterHasZeroCv) {
+  std::vector<RunningStats> servers(4, stats_with(2.0, 100));
+  const auto report = performance_consistency(servers);
+  EXPECT_DOUBLE_EQ(report.latency_cv, 0.0);
+  EXPECT_DOUBLE_EQ(report.max_over_min, 1.0);
+  EXPECT_EQ(report.servers_counted, 4u);
+  EXPECT_EQ(report.servers_excluded, 0u);
+}
+
+TEST(Consistency, InconsistentClusterHasHighCv) {
+  std::vector<RunningStats> servers{stats_with(1.0, 100),
+                                    stats_with(10.0, 100)};
+  const auto report = performance_consistency(servers);
+  EXPECT_GT(report.latency_cv, 0.5);
+  EXPECT_DOUBLE_EQ(report.max_over_min, 10.0);
+}
+
+TEST(Consistency, NearIdleServerExcluded) {
+  // The paper's server 0: huge latency but 0.37% of requests — it "does not
+  // introduce significant skew into system-wide performance consistency".
+  std::vector<RunningStats> servers{
+      stats_with(50.0, 3),  // ~0.3% of requests, slow
+      stats_with(1.0, 500), stats_with(1.1, 480)};
+  const auto report = performance_consistency(servers, 0.01);
+  EXPECT_EQ(report.servers_counted, 2u);
+  EXPECT_EQ(report.servers_excluded, 1u);
+  EXPECT_NEAR(report.excluded_request_share, 3.0 / 983.0, 1e-12);
+  EXPECT_LT(report.latency_cv, 0.1);
+}
+
+TEST(Consistency, FullyIdleServerIgnoredEntirely) {
+  std::vector<RunningStats> servers{RunningStats{}, stats_with(1.0, 100)};
+  const auto report = performance_consistency(servers);
+  EXPECT_EQ(report.servers_counted, 1u);
+  EXPECT_EQ(report.servers_excluded, 0u);
+}
+
+TEST(Consistency, EmptyClusterSafe) {
+  const auto report = performance_consistency({});
+  EXPECT_EQ(report.servers_counted, 0u);
+  EXPECT_DOUBLE_EQ(report.latency_cv, 0.0);
+}
+
+TEST(Consistency, ThresholdZeroCountsEveryActiveServer) {
+  std::vector<RunningStats> servers{stats_with(5.0, 1),
+                                    stats_with(1.0, 1000)};
+  const auto report = performance_consistency(servers, 0.0);
+  EXPECT_EQ(report.servers_counted, 2u);
+}
+
+}  // namespace
+}  // namespace anu::metrics

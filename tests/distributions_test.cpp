@@ -1,0 +1,172 @@
+// Tests for the workload distributions.
+#include "common/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace anu {
+namespace {
+
+TEST(UniformReal, StaysInRange) {
+  Xoshiro256 rng(1);
+  const UniformReal dist(1.0, 10.0);
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = dist.sample(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LT(x, 10.0);
+  }
+}
+
+TEST(UniformReal, MeanMatches) {
+  Xoshiro256 rng(2);
+  const UniformReal dist(1.0, 10.0);
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += dist.sample(rng);
+  EXPECT_NEAR(sum / kN, 5.5, 0.05);
+}
+
+TEST(Exponential, MeanMatchesRate) {
+  Xoshiro256 rng(3);
+  const Exponential dist(0.25);  // mean 4
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += dist.sample(rng);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Exponential, NonNegative) {
+  Xoshiro256 rng(4);
+  const Exponential dist(2.0);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(dist.sample(rng), 0.0);
+}
+
+TEST(BoundedPareto, StaysWithinBounds) {
+  Xoshiro256 rng(5);
+  const BoundedPareto dist(1.3, 1.0, 1e4);
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = dist.sample(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 1e4);
+  }
+}
+
+TEST(BoundedPareto, EmpiricalMeanMatchesAnalytic) {
+  Xoshiro256 rng(6);
+  const BoundedPareto dist(1.5, 1.0, 1e3);
+  double sum = 0.0;
+  constexpr int kN = 500'000;
+  for (int i = 0; i < kN; ++i) sum += dist.sample(rng);
+  EXPECT_NEAR(sum / kN, dist.mean(), dist.mean() * 0.05);
+}
+
+TEST(BoundedPareto, IsHeavyTailedRelativeToExponential) {
+  // The paper leans on heavy-tailed inter-arrivals; check that the sample
+  // coefficient of variation is well above an exponential's (CV = 1).
+  Xoshiro256 rng(7);
+  const BoundedPareto dist(1.2, 1.0, 1e4);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 500'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = dist.sample(rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_GT(std::sqrt(var) / mean, 2.0);
+}
+
+TEST(BoundedPareto, ShapeOneMeanIsFinite) {
+  const BoundedPareto dist(1.0, 1.0, 100.0);
+  EXPECT_GT(dist.mean(), 1.0);
+  EXPECT_LT(dist.mean(), 100.0);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const Zipf dist(21, 0.9);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < dist.size(); ++r) sum += dist.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  const Zipf dist(50, 1.0);
+  for (std::size_t r = 1; r < dist.size(); ++r) {
+    EXPECT_GT(dist.pmf(r - 1), dist.pmf(r));
+  }
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const Zipf dist(10, 0.0);
+  for (std::size_t r = 0; r < dist.size(); ++r) {
+    EXPECT_NEAR(dist.pmf(r), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  Xoshiro256 rng(8);
+  const Zipf dist(10, 1.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) ++counts[dist.sample(rng)];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / kN, dist.pmf(r),
+                0.01 + dist.pmf(r) * 0.05);
+  }
+}
+
+TEST(Lognormal, MeanMatchesAnalytic) {
+  Xoshiro256 rng(9);
+  const Lognormal dist(-0.5 * 0.25 * 0.25, 0.25);  // unit mean
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += dist.sample(rng);
+  EXPECT_NEAR(dist.mean(), 1.0, 1e-12);
+  EXPECT_NEAR(sum / kN, 1.0, 0.01);
+}
+
+TEST(Lognormal, StrictlyPositive) {
+  Xoshiro256 rng(10);
+  const Lognormal dist(0.0, 1.0);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(dist.sample(rng), 0.0);
+}
+
+TEST(StandardNormal, MeanZeroVarianceOne) {
+  Xoshiro256 rng(11);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sample_standard_normal(rng);
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sq / kN, 1.0, 0.02);
+}
+
+// Property sweep: bounded Pareto respects bounds for a grid of shapes.
+class ParetoShapeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParetoShapeTest, BoundsAndMeanConsistent) {
+  const double shape = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(shape * 1000));
+  const BoundedPareto dist(shape, 2.0, 2000.0);
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 2000.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, dist.mean(), dist.mean() * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ParetoShapeTest,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace anu

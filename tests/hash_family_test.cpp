@@ -1,0 +1,161 @@
+// Tests for the hash-function family used by ANU addressing.
+#include "hash/hash_family.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace anu {
+namespace {
+
+TEST(Hash64, DeterministicAcrossCalls) {
+  EXPECT_EQ(hash64("fileset/0", 1), hash64("fileset/0", 1));
+}
+
+TEST(Hash64, SeedChangesValue) {
+  EXPECT_NE(hash64("fileset/0", 1), hash64("fileset/0", 2));
+}
+
+TEST(Hash64, InputChangesValue) {
+  EXPECT_NE(hash64("fileset/0", 1), hash64("fileset/1", 1));
+  EXPECT_NE(hash64("", 1), hash64("x", 1));
+}
+
+TEST(Hash64, LengthExtensionsDiffer) {
+  // Zero-padding ambiguity check: trailing NUL-like suffixes must matter.
+  const std::string a("ab");
+  const std::string b("ab\0", 3);
+  EXPECT_NE(hash64(a, 7), hash64(b, 7));
+}
+
+TEST(Hash64, AllLengthsProduceDistinctValues) {
+  std::set<std::uint64_t> seen;
+  std::string s;
+  for (int len = 0; len < 64; ++len) {
+    EXPECT_TRUE(seen.insert(hash64(s, 99)).second) << "len=" << len;
+    s.push_back('a');
+  }
+}
+
+TEST(Hash64, NoCollisionsAcrossCorpus) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_TRUE(seen.insert(hash64("path/to/fileset/" + std::to_string(i), 0))
+                    .second);
+  }
+}
+
+TEST(HashFamily, UnitPointsInRange) {
+  const HashFamily family;
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = family.unit_point("fs" + std::to_string(i), 0);
+    EXPECT_LT(p, UnitPoint::one());
+  }
+}
+
+TEST(HashFamily, RoundsAreIndependent) {
+  // Successive probes of the same name must look like fresh uniform draws:
+  // correlation between round r and r+1 offsets should be negligible.
+  const HashFamily family;
+  double sum_xy = 0.0, sum_x = 0.0, sum_y = 0.0, sum_x2 = 0.0, sum_y2 = 0.0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    const std::string name = "fs" + std::to_string(i);
+    const double x = family.unit_point(name, 0).to_double();
+    const double y = family.unit_point(name, 1).to_double();
+    sum_xy += x * y;
+    sum_x += x;
+    sum_y += y;
+    sum_x2 += x * x;
+    sum_y2 += y * y;
+  }
+  const double n = kN;
+  const double cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+  const double vx = sum_x2 / n - (sum_x / n) * (sum_x / n);
+  const double vy = sum_y2 / n - (sum_y / n) * (sum_y / n);
+  EXPECT_LT(std::fabs(cov / std::sqrt(vx * vy)), 0.02);
+}
+
+TEST(HashFamily, UniformOnUnitInterval) {
+  // Chi-square-style bucket check: 20 buckets over 100k names.
+  const HashFamily family;
+  constexpr int kBuckets = 20;
+  constexpr int kN = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) {
+    const double x =
+        family.unit_point("user/home/dir" + std::to_string(i), 0).to_double();
+    ++counts[static_cast<std::size_t>(x * kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.08);
+  }
+}
+
+TEST(HashFamily, FamilySeedSeparatesFamilies) {
+  const HashFamily a(1), b(2);
+  EXPECT_NE(a.raw("fs", 0), b.raw("fs", 0));
+}
+
+class ProbeRoundTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ProbeRoundTest, EachRoundIsUniform) {
+  const HashFamily family;
+  const std::uint32_t round = GetParam();
+  constexpr int kBuckets = 10;
+  constexpr int kN = 50'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) {
+    const double x =
+        family.unit_point("fs/" + std::to_string(i), round).to_double();
+    ++counts[static_cast<std::size_t>(x * kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.1) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, ProbeRoundTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 31u));
+
+
+TEST(Hash64, AvalancheOnSingleBitFlips) {
+  // Flipping any one input bit should flip ~32 of 64 output bits; demand
+  // the average stays in [24, 40] over a corpus — a weak mixer fails this.
+  double total_flips = 0.0;
+  int trials = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string name = "avalanche/input/" + std::to_string(i);
+    const std::uint64_t base = hash64(name, 7);
+    for (std::size_t byte = 0; byte < name.size(); byte += 3) {
+      for (int bit = 0; bit < 8; bit += 3) {
+        std::string flipped = name;
+        flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+        total_flips += __builtin_popcountll(base ^ hash64(flipped, 7));
+        ++trials;
+      }
+    }
+  }
+  const double mean_flips = total_flips / trials;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(Hash64, SeedAvalanche) {
+  double total_flips = 0.0;
+  int trials = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = hash64("fixed-name", 1);
+    const std::uint64_t b = hash64("fixed-name", 1ull ^ (1ull << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+    ++trials;
+  }
+  EXPECT_GT(total_flips / trials, 24.0);
+  EXPECT_LT(total_flips / trials, 40.0);
+}
+
+}  // namespace
+}  // namespace anu

@@ -1,0 +1,129 @@
+// Golden-shape regression test at full paper scale.
+//
+// Runs the exact §5.1 configuration (66,401 requests / 50 file sets / 200
+// minutes / servers 1,3,5,7,9 / two-minute tuning) through all four systems
+// and asserts the orderings EXPERIMENTS.md documents. This is the guard
+// that keeps refactors from silently bending the reproduction; it is the
+// slowest test in the suite (~1 s).
+#include <gtest/gtest.h>
+
+#include "driver/balancer_factory.h"
+#include "driver/paper.h"
+#include "metrics/consistency.h"
+
+namespace anu::driver {
+namespace {
+
+class PaperScale : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new workload::Workload(paper_synthetic_workload());
+    const auto config = paper_experiment_config();
+    for (SystemKind kind : kAllSystems) {
+      SystemConfig system;
+      system.kind = kind;
+      auto balancer =
+          make_balancer(system, config.cluster.server_speeds.size());
+      results_[static_cast<int>(kind)] =
+          new ExperimentResult(run_experiment(config, *workload_, *balancer));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    for (auto*& r : results_) {
+      delete r;
+      r = nullptr;
+    }
+  }
+
+  static const ExperimentResult& result(SystemKind kind) {
+    return *results_[static_cast<int>(kind)];
+  }
+
+  static workload::Workload* workload_;
+  static ExperimentResult* results_[4];
+};
+
+workload::Workload* PaperScale::workload_ = nullptr;
+ExperimentResult* PaperScale::results_[4] = {};
+
+TEST_F(PaperScale, SystemOrdering) {
+  // Fig. 6(a): prescient ~ VP << simple; ANU within 1.5x of prescient.
+  const double prescient = result(SystemKind::kDynPrescient).aggregate.mean();
+  const double vp = result(SystemKind::kVirtualProcessor).aggregate.mean();
+  const double anu = result(SystemKind::kAnu).aggregate.mean();
+  const double simple = result(SystemKind::kSimpleRandom).aggregate.mean();
+  EXPECT_LT(prescient, simple / 50.0);
+  EXPECT_LT(vp, prescient * 1.3);
+  EXPECT_LT(anu, prescient * 1.5);
+  EXPECT_GT(anu, prescient * 0.8);
+}
+
+TEST_F(PaperScale, AnuSteadyStateMatchesPrescient) {
+  EXPECT_LT(result(SystemKind::kAnu).steady_state.mean(),
+            result(SystemKind::kDynPrescient).steady_state.mean() * 1.3);
+}
+
+TEST_F(PaperScale, SimpleRandomDivergesOnWeakestServer) {
+  const auto& simple = result(SystemKind::kSimpleRandom);
+  EXPECT_GT(simple.per_server[0].mean(), 1000.0);
+  EXPECT_GT(simple.utilization[0], 0.99);
+}
+
+TEST_F(PaperScale, AnuWeakestServerNearIdle) {
+  const auto& anu = result(SystemKind::kAnu);
+  const double share = static_cast<double>(anu.served[0]) /
+                       static_cast<double>(anu.requests_completed);
+  EXPECT_LT(share, 0.05);  // paper: 0.37%; ours ~1%
+}
+
+TEST_F(PaperScale, AnuMovementIsOrderHundred) {
+  const auto& anu = result(SystemKind::kAnu);
+  EXPECT_GT(anu.total_moved, 10u);
+  EXPECT_LT(anu.total_moved, 400u);  // paper: 112
+  // Front-loaded: more moves in the first quarter than the rest.
+  std::size_t first_quarter = 0, rest = 0;
+  for (std::size_t i = 0; i < anu.movement.size(); ++i) {
+    (i < anu.movement.size() / 4 ? first_quarter : rest) +=
+        anu.movement[i].moved;
+  }
+  EXPECT_GT(first_quarter, rest);
+}
+
+TEST_F(PaperScale, OracleSystemsMoveOrdersOfMagnitudeMore) {
+  EXPECT_GT(result(SystemKind::kDynPrescient).total_moved,
+            result(SystemKind::kAnu).total_moved * 20);
+}
+
+TEST_F(PaperScale, AnuMostConsistentAcrossNonIdleServers) {
+  // §5.2.2 / the paper's title: consistent latency over any non-idle server.
+  const auto anu = metrics::performance_consistency(
+      result(SystemKind::kAnu).per_server, 0.02);
+  const auto prescient = metrics::performance_consistency(
+      result(SystemKind::kDynPrescient).per_server, 0.02);
+  const auto simple = metrics::performance_consistency(
+      result(SystemKind::kSimpleRandom).per_server, 0.02);
+  EXPECT_LT(anu.latency_cv, prescient.latency_cv);
+  EXPECT_LT(anu.latency_cv, simple.latency_cv);
+  EXPECT_LT(anu.max_over_min, prescient.max_over_min);
+}
+
+TEST_F(PaperScale, SharedStateOrdering) {
+  EXPECT_LT(result(SystemKind::kAnu).shared_state_bytes,
+            result(SystemKind::kVirtualProcessor).shared_state_bytes);
+  EXPECT_LT(result(SystemKind::kSimpleRandom).shared_state_bytes,
+            result(SystemKind::kAnu).shared_state_bytes);
+}
+
+TEST_F(PaperScale, NearlyAllRequestsComplete) {
+  for (SystemKind kind :
+       {SystemKind::kDynPrescient, SystemKind::kVirtualProcessor,
+        SystemKind::kAnu}) {
+    EXPECT_GT(result(kind).requests_completed,
+              workload_->request_count() * 99 / 100)
+        << system_label(kind);
+  }
+}
+
+}  // namespace
+}  // namespace anu::driver

@@ -1,0 +1,98 @@
+// End-to-end tests: the queueing data plane driven by the real message
+// protocol, and cross-validation against the balancer-level driver.
+#include "driver/protocol_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/balancer_factory.h"
+#include "workload/synthetic.h"
+
+namespace anu::driver {
+namespace {
+
+workload::Workload test_workload(std::uint64_t seed = 42) {
+  workload::SyntheticConfig config;
+  config.seed = seed;
+  config.file_set_count = 30;
+  config.request_count = 8'000;
+  config.duration = 40.0 * 60.0;
+  return make_synthetic_workload(config);
+}
+
+ProtocolExperimentConfig base_config() {
+  ProtocolExperimentConfig config;
+  config.cluster = cluster::paper_cluster();
+  return config;
+}
+
+TEST(ProtocolExperiment, CompletesAndConverges) {
+  const auto w = test_workload();
+  const auto result = run_protocol_experiment(base_config(), w);
+  EXPECT_EQ(result.requests_issued, w.request_count());
+  EXPECT_GT(result.requests_completed, w.request_count() * 7 / 10);
+  // The weakest server ends up near-idle, as under the direct driver.
+  EXPECT_LT(static_cast<double>(result.served[0]) /
+                static_cast<double>(result.requests_completed),
+            0.15);
+  EXPECT_GT(result.tuning_rounds, 15u);
+}
+
+TEST(ProtocolExperiment, MatchesBalancerDriverShape) {
+  // The protocol adds messaging latency and transient replica skew; on a
+  // LAN config its steady-state latency must land close to the direct
+  // driver's (this validates the control_delay abstraction).
+  const auto w = test_workload();
+  const auto protocol_result = run_protocol_experiment(base_config(), w);
+
+  ExperimentConfig direct;
+  direct.cluster = cluster::paper_cluster();
+  SystemConfig system;
+  system.kind = SystemKind::kAnu;
+  auto balancer = make_balancer(system, 5);
+  const auto direct_result = run_experiment(direct, w, *balancer);
+
+  EXPECT_LT(protocol_result.steady_state.mean(),
+            direct_result.steady_state.mean() * 3.0 + 0.5);
+  EXPECT_GT(protocol_result.steady_state.mean(),
+            direct_result.steady_state.mean() * 0.3);
+}
+
+TEST(ProtocolExperiment, Deterministic) {
+  const auto w = test_workload();
+  const auto a = run_protocol_experiment(base_config(), w);
+  const auto b = run_protocol_experiment(base_config(), w);
+  EXPECT_DOUBLE_EQ(a.aggregate.mean(), b.aggregate.mean());
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.total_moved, b.total_moved);
+}
+
+TEST(ProtocolExperiment, SurvivesDelegateFailureMidRun) {
+  const auto w = test_workload();
+  auto config = base_config();
+  cluster::FailureSchedule schedule;
+  schedule.add({700.0, cluster::MembershipAction::kFail, ServerId(0), 0.0});
+  schedule.add({1500.0, cluster::MembershipAction::kRecover, ServerId(0), 0.0});
+  config.failures = schedule;
+  const auto result = run_protocol_experiment(config, w);
+  EXPECT_GT(result.requests_completed, w.request_count() * 6 / 10);
+}
+
+TEST(ProtocolExperiment, SlowControlNetworkStillWorks) {
+  const auto w = test_workload();
+  auto config = base_config();
+  config.network.base_delay = 0.25;
+  config.protocol.report_grace = 2.0;
+  const auto result = run_protocol_experiment(config, w);
+  EXPECT_GT(result.requests_completed, w.request_count() * 7 / 10);
+  EXPECT_GT(result.tuning_rounds, 15u);
+}
+
+TEST(ProtocolExperiment, RecordsMovement) {
+  const auto w = test_workload();
+  const auto result = run_protocol_experiment(base_config(), w);
+  EXPECT_GT(result.total_moved, 0u);
+  EXPECT_LE(result.unique_moved, w.file_set_count());
+}
+
+}  // namespace
+}  // namespace anu::driver

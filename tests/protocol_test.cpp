@@ -1,0 +1,331 @@
+// Tests for the control-protocol simulation: network model, report/update
+// flow, versioned replication, shed notices, delegate failover.
+#include <gtest/gtest.h>
+
+#include "proto/protocol.h"
+
+namespace anu::proto {
+namespace {
+
+// --- network ---------------------------------------------------------------
+
+TEST(Network, DeliversAfterDelay) {
+  sim::Simulation sim;
+  NetworkConfig config;
+  config.base_delay = 0.01;
+  config.jitter = 0.0;
+  Network net(sim, config, 2);
+  double delivered_at = -1.0;
+  net.attach(1, [&](std::uint32_t from, const Message&) {
+    EXPECT_EQ(from, 0u);
+    delivered_at = sim.now();
+  });
+  net.send(0, 1, ShedNotice{});
+  sim.run_to_completion();
+  EXPECT_NEAR(delivered_at, 0.01 + 12 * 8e-9, 1e-9);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(Network, DropsToDownNode) {
+  sim::Simulation sim;
+  Network net(sim, NetworkConfig{}, 2);
+  int received = 0;
+  net.attach(1, [&](std::uint32_t, const Message&) { ++received; });
+  net.set_node_up(1, false);
+  net.send(0, 1, ShedNotice{});
+  sim.run_to_completion();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(Network, DropsInFlightWhenReceiverFails) {
+  sim::Simulation sim;
+  NetworkConfig config;
+  config.base_delay = 1.0;
+  Network net(sim, config, 2);
+  int received = 0;
+  net.attach(1, [&](std::uint32_t, const Message&) { ++received; });
+  net.send(0, 1, ShedNotice{});
+  sim.schedule_at(0.5, [&] { net.set_node_up(1, false); });
+  sim.run_to_completion();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, BroadcastReachesAllOthers) {
+  sim::Simulation sim;
+  Network net(sim, NetworkConfig{}, 4);
+  int received = 0;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    net.attach(n, [&](std::uint32_t, const Message&) { ++received; });
+  }
+  net.broadcast(2, ShedNotice{});
+  sim.run_to_completion();
+  EXPECT_EQ(received, 3);
+}
+
+TEST(Network, AccountsBytes) {
+  sim::Simulation sim;
+  Network net(sim, NetworkConfig{}, 2);
+  net.attach(1, [](std::uint32_t, const Message&) {});
+  RegionMapUpdate update;
+  update.partitions.resize(16);
+  net.send(0, 1, update);
+  EXPECT_EQ(net.bytes_sent(), 16u + 16u * 12u);
+}
+
+// --- protocol ---------------------------------------------------------------
+
+struct ProtoHarness {
+  sim::Simulation sim;
+  Network net;
+  ProtocolCluster cluster;
+
+  explicit ProtoHarness(std::size_t servers,
+                        const std::vector<double>& speeds,
+                        ProtocolConfig config = {})
+      : net(sim, NetworkConfig{}, servers),
+        cluster(sim, net, config, servers,
+                [speeds](std::uint32_t s, UnitPoint share) {
+                  // Data-plane model: latency proportional to share over
+                  // speed; completions proportional to share.
+                  const double latency =
+                      share.to_double() / speeds[s] * 100.0 + 1e-6;
+                  const auto n = static_cast<std::size_t>(
+                      share.to_double() * 1e4);
+                  return balance::ServerReport{latency, n};
+                }) {
+    std::vector<std::string> names;
+    for (int i = 0; i < 40; ++i) names.push_back("p/" + std::to_string(i));
+    cluster.register_file_sets(names);
+  }
+};
+
+TEST(Protocol, ReplicasAgreeAfterEachRound) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0});
+  for (int round = 1; round <= 10; ++round) {
+    h.sim.run_until(120.0 * round + 10.0);  // interval + slack for messages
+    EXPECT_TRUE(h.cluster.replicas_agree()) << "round " << round;
+    EXPECT_EQ(h.cluster.version_of(0), static_cast<std::uint64_t>(round));
+  }
+  EXPECT_EQ(h.cluster.updates_published(), 10u);
+}
+
+TEST(Protocol, SharesConvergeTowardSpeeds) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0});
+  h.sim.run_until(120.0 * 60);
+  const auto& map = h.cluster.map_of(4);
+  EXPECT_GT(map.share(ServerId(4)).to_double(),
+            map.share(ServerId(0)).to_double() * 2.0);
+}
+
+TEST(Protocol, AllNodesRouteIdentically) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0});
+  h.sim.run_until(120.0 * 5 + 10.0);
+  for (int i = 0; i < 40; ++i) {
+    const std::string name = "p/" + std::to_string(i);
+    const ServerId from0 = h.cluster.route_from(0, name);
+    for (std::uint32_t s = 1; s < 5; ++s) {
+      EXPECT_EQ(h.cluster.route_from(s, name), from0);
+    }
+  }
+}
+
+TEST(Protocol, ShedNoticesFlowToAcquirers) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0});
+  h.sim.run_until(120.0 * 20);
+  std::uint64_t notices = 0;
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    notices += h.cluster.shed_notices_received(s);
+  }
+  // Load moves toward fast servers during convergence, so somebody must
+  // have been notified of gaining file sets.
+  EXPECT_GT(notices, 0u);
+}
+
+TEST(Protocol, DelegateFailoverKeepsRoundsFlowing) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0});
+  h.sim.run_until(120.0 * 3 + 10.0);
+  EXPECT_EQ(h.cluster.delegate(), 0u);
+  const auto before = h.cluster.updates_published();
+  h.cluster.fail_server(0);
+  EXPECT_EQ(h.cluster.delegate(), 1u);
+  h.sim.run_until(120.0 * 8 + 10.0);
+  // Rounds keep completing under the new delegate and survivors agree.
+  EXPECT_GT(h.cluster.updates_published(), before + 3);
+  EXPECT_TRUE(h.cluster.replicas_agree());
+}
+
+TEST(Protocol, RecoveredNodeCatchesUpViaVersioning) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0});
+  h.sim.run_until(120.0 * 2 + 10.0);
+  h.cluster.fail_server(3);
+  h.sim.run_until(120.0 * 6 + 10.0);
+  // Node 3 is stale while down.
+  EXPECT_LT(h.cluster.version_of(3), h.cluster.version_of(0));
+  h.cluster.recover_server(3);
+  h.sim.run_until(120.0 * 8 + 10.0);
+  EXPECT_TRUE(h.cluster.replicas_agree());
+  EXPECT_EQ(h.cluster.version_of(3), h.cluster.version_of(0));
+}
+
+TEST(Protocol, SlowNetworkStillConverges) {
+  // Half a second of one-way delay (WAN-grade for a LAN protocol): rounds
+  // still complete because the grace window waits out stragglers.
+  sim::Simulation sim;
+  NetworkConfig net_config;
+  net_config.base_delay = 0.5;
+  net_config.jitter = 0.3;
+  Network net(sim, net_config, 3);
+  ProtocolConfig config;
+  config.report_grace = 2.0;
+  const std::vector<double> speeds{1.0, 4.0, 8.0};
+  ProtocolCluster cluster(
+      sim, net, config, 3, [&](std::uint32_t s, UnitPoint share) {
+        return balance::ServerReport{share.to_double() / speeds[s] + 1e-6,
+                                     100};
+      });
+  cluster.register_file_sets({"a", "b", "c", "d"});
+  sim.run_until(120.0 * 20);
+  EXPECT_TRUE(cluster.replicas_agree());
+  EXPECT_GE(cluster.updates_published(), 18u);
+}
+
+TEST(Protocol, UpdateMessageCostIsRegionTableSized) {
+  ProtoHarness h(5, {1.0, 1.0, 1.0, 1.0, 1.0});
+  h.sim.run_until(130.0);
+  // One round: 4 remote reports (24 B each) + 4 update broadcasts carrying
+  // the 16-partition table (16 + 192 B) + shed notices. The dominant cost
+  // scales with the partition table — O(servers), §5.4's argument.
+  EXPECT_GE(h.net.bytes_sent(), 4u * 24 + 4u * (16 + 192));
+  EXPECT_LT(h.net.bytes_sent(), 4000u);
+}
+
+
+TEST(Protocol, RecoveredFormerDelegateDoesNotSplitBrain) {
+  // Regression: a recovered ex-delegate once resumed with a stale replica
+  // and published version numbers below the cluster's, which everyone
+  // rejected forever. Version-by-round plus state transfer on rejoin must
+  // re-unify the replicas.
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0});
+  h.sim.run_until(120.0 * 3 + 10.0);
+  h.cluster.fail_server(0);                 // the delegate dies
+  h.sim.run_until(120.0 * 8 + 10.0);        // s1 runs rounds 4..8
+  h.cluster.recover_server(0);              // s0 is re-elected delegate
+  h.sim.run_until(120.0 * 12 + 10.0);       // s0 runs rounds 9..12
+  EXPECT_TRUE(h.cluster.replicas_agree());
+  EXPECT_EQ(h.cluster.version_of(0), h.cluster.version_of(4));
+  EXPECT_GE(h.cluster.version_of(0), 12u);
+}
+
+TEST(Protocol, VersionsTrackRounds) {
+  ProtoHarness h(3, {1.0, 2.0, 4.0});
+  h.sim.run_until(120.0 * 6 + 10.0);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(h.cluster.version_of(s), 6u);
+  }
+}
+
+TEST(Protocol, StateTransferCatchesUpBeforeNextRound) {
+  ProtoHarness h(4, {1.0, 2.0, 4.0, 8.0});
+  h.sim.run_until(120.0 * 2 + 10.0);
+  h.cluster.fail_server(2);
+  h.sim.run_until(120.0 * 5 + 10.0);
+  h.cluster.recover_server(2);
+  // Well before the next tuning round, the transfer alone has synced it.
+  h.sim.run_until(120.0 * 5 + 20.0);
+  EXPECT_EQ(h.cluster.version_of(2), h.cluster.version_of(0));
+  EXPECT_TRUE(h.cluster.replicas_agree());
+}
+
+
+// --- heartbeat failure detection -------------------------------------------
+
+TEST(HeartbeatView, SelfAlwaysUp) {
+  const HeartbeatView view(HeartbeatConfig{}, 4, 2);
+  EXPECT_TRUE(view.believes_up(2, 1e9));
+}
+
+TEST(HeartbeatView, SuspectsAfterSilence) {
+  HeartbeatView view(HeartbeatConfig{}, 3, 0);
+  view.heard_from(1, 10.0);
+  EXPECT_TRUE(view.believes_up(1, 12.0));
+  EXPECT_FALSE(view.believes_up(1, 14.0));  // > 3.5 s silent
+  view.heard_from(1, 14.5);                 // came back
+  EXPECT_TRUE(view.believes_up(1, 15.0));
+}
+
+TEST(HeartbeatView, DelegateFollowsSuspicion) {
+  HeartbeatView view(HeartbeatConfig{}, 3, 2);
+  view.heard_from(0, 0.0);
+  view.heard_from(1, 100.0);
+  EXPECT_EQ(view.believed_delegate(1.0), 0u);
+  EXPECT_EQ(view.believed_delegate(100.0), 1u);  // 0 long silent
+  EXPECT_EQ(view.believed_delegate(1000.0), 2u); // everyone silent: self
+}
+
+TEST(HeartbeatView, UpCountTracksViews) {
+  HeartbeatView view(HeartbeatConfig{}, 4, 0);
+  for (std::uint32_t p = 1; p < 4; ++p) view.heard_from(p, 50.0);
+  EXPECT_EQ(view.believed_up_count(51.0), 4u);
+  EXPECT_EQ(view.believed_up_count(60.0), 1u);  // only self
+}
+
+ProtocolConfig heartbeat_config() {
+  ProtocolConfig config;
+  config.use_heartbeats = true;
+  return config;
+}
+
+TEST(ProtocolHeartbeat, ConvergesLikeOracleMembership) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0}, heartbeat_config());
+  h.sim.run_until(120.0 * 30);
+  EXPECT_TRUE(h.cluster.replicas_agree());
+  const auto& map = h.cluster.map_of(0);
+  EXPECT_GT(map.share(ServerId(4)).to_double(),
+            map.share(ServerId(0)).to_double() * 2.0);
+}
+
+TEST(ProtocolHeartbeat, FailureDetectedWithoutOracle) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0}, heartbeat_config());
+  h.sim.run_until(120.0 * 3 + 10.0);
+  const double before_share =
+      h.cluster.map_of(1).share(ServerId(4)).to_double();
+  EXPECT_GT(before_share, 0.0);
+  h.cluster.fail_server(4);  // only kills the process/link — no oracle call
+  // Within suspect_after, peers notice; the next round reclaims its region.
+  h.sim.run_until(120.0 * 5 + 10.0);
+  EXPECT_EQ(h.cluster.map_of(0).share(ServerId(4)).raw(), 0u);
+  EXPECT_FALSE(h.cluster.believed_up(0, 4));
+}
+
+TEST(ProtocolHeartbeat, DelegateFailoverIsEmergent) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0}, heartbeat_config());
+  h.sim.run_until(120.0 * 2 + 10.0);
+  EXPECT_EQ(h.cluster.believed_delegate_of(3), 0u);
+  const auto rounds_before = h.cluster.updates_published();
+  h.cluster.fail_server(0);
+  h.sim.run_until(120.0 * 6 + 10.0);
+  // Every survivor's local view elected server 1; rounds kept flowing.
+  for (std::uint32_t s = 1; s < 5; ++s) {
+    EXPECT_EQ(h.cluster.believed_delegate_of(s), 1u) << "node " << s;
+  }
+  EXPECT_GT(h.cluster.updates_published(), rounds_before + 2);
+  EXPECT_TRUE(h.cluster.replicas_agree());
+}
+
+TEST(ProtocolHeartbeat, RecoveryRedetected) {
+  ProtoHarness h(4, {1.0, 2.0, 4.0, 8.0}, heartbeat_config());
+  h.sim.run_until(120.0 * 2 + 10.0);
+  h.cluster.fail_server(2);
+  h.sim.run_until(120.0 * 4 + 10.0);
+  EXPECT_FALSE(h.cluster.believed_up(0, 2));
+  h.cluster.recover_server(2);
+  // Its heartbeats resume; peers re-admit it and the delegate regrows it.
+  h.sim.run_until(120.0 * 8 + 10.0);
+  EXPECT_TRUE(h.cluster.believed_up(0, 2));
+  EXPECT_GT(h.cluster.map_of(0).share(ServerId(2)).raw(), 0u);
+  EXPECT_TRUE(h.cluster.replicas_agree());
+}
+
+}  // namespace
+}  // namespace anu::proto

@@ -1,0 +1,112 @@
+// Tests for the deterministic PRNG substrate.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace anu {
+namespace {
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 0 from the published SplitMix64 algorithm.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Mix64, IsAPermutationOnSamples) {
+  // Injective on a sample: no collisions among 10k consecutive inputs.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second);
+  }
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SeedsDecorrelated) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(5);
+  constexpr std::uint64_t kBuckets = 10;
+  std::array<int, kBuckets> counts{};
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256, JumpChangesStream) {
+  Xoshiro256 a(9), b(9);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, SubstreamsIndependentPerIndex) {
+  Xoshiro256 a = Xoshiro256::substream(42, 0);
+  Xoshiro256 b = Xoshiro256::substream(42, 1);
+  Xoshiro256 a2 = Xoshiro256::substream(42, 0);
+  EXPECT_NE(a.next(), b.next());
+  Xoshiro256 a3 = Xoshiro256::substream(42, 0);
+  EXPECT_EQ(a2.next(), a3.next());
+}
+
+class NextBelowBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NextBelowBoundsTest, AllValuesReachableSmallBounds) {
+  const std::uint64_t bound = GetParam();
+  Xoshiro256 rng(bound * 77 + 1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.next_below(bound));
+  EXPECT_EQ(seen.size(), bound);  // every residue hit for tiny bounds
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, NextBelowBoundsTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace anu

@@ -1,0 +1,361 @@
+// Tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/monitor.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace anu::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, SimultaneousEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(5.5, [&] { seen = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_after(3.0, [&] { seen = sim.now(); });
+  });
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  const auto ran = sim.run_until(5.0);
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, EventExactlyAtHorizonRuns) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  auto handle = sim.schedule_at(1.0, [&] { ++fired; });
+  handle.cancel();
+  EXPECT_TRUE(handle.cancelled());
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, CancelFromInsideEarlierEvent) {
+  Simulation sim;
+  int fired = 0;
+  auto victim = sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(1.0, [&] { victim.cancel(); });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, StopHaltsLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, EventsExecutedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(FifoResource, SingleJobLatencyIsDemandOverSpeed) {
+  Simulation sim;
+  FifoResource res(sim, 4.0);
+  double completed_at = -1.0;
+  res.submit(Job{8.0, 0, [&](SimTime t, const Job&) { completed_at = t; }});
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(completed_at, 2.0);  // 8 units / speed 4
+  EXPECT_EQ(res.jobs_completed(), 1u);
+}
+
+TEST(FifoResource, JobsQueueFifo) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  std::vector<std::uint64_t> done;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    res.submit(Job{1.0, i, [&](SimTime, const Job& j) {
+                     done.push_back(j.tag);
+                   }});
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(done, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(FifoResource, QueueingLatencyAccumulates) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  std::vector<double> latencies;
+  for (int i = 0; i < 3; ++i) {
+    res.submit(Job{2.0, 0, [&](SimTime t, const Job& j) {
+                     latencies.push_back(t - j.arrival);
+                   }});
+  }
+  sim.run_to_completion();
+  ASSERT_EQ(latencies.size(), 3u);
+  EXPECT_DOUBLE_EQ(latencies[0], 2.0);
+  EXPECT_DOUBLE_EQ(latencies[1], 4.0);
+  EXPECT_DOUBLE_EQ(latencies[2], 6.0);
+}
+
+TEST(FifoResource, HeterogeneousSpeedMatchesPaperModel) {
+  // Paper §5.1: same request costs T on speed-1 and T/9 on speed-9.
+  Simulation sim;
+  FifoResource slow(sim, 1.0);
+  FifoResource fast(sim, 9.0);
+  double slow_done = 0.0, fast_done = 0.0;
+  slow.submit(Job{9.0, 0, [&](SimTime t, const Job&) { slow_done = t; }});
+  fast.submit(Job{9.0, 0, [&](SimTime t, const Job&) { fast_done = t; }});
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(slow_done, 9.0);
+  EXPECT_DOUBLE_EQ(fast_done, 1.0);
+}
+
+TEST(FifoResource, SpeedChangeAppliesToNextService) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  std::vector<double> completions;
+  res.submit(Job{1.0, 0, [&](SimTime t, const Job&) { completions.push_back(t); }});
+  res.submit(Job{1.0, 0, [&](SimTime t, const Job&) { completions.push_back(t); }});
+  sim.schedule_at(0.5, [&] { res.set_speed(2.0); });
+  sim.run_to_completion();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);  // started before the change
+  EXPECT_DOUBLE_EQ(completions[1], 1.5);  // second runs at speed 2
+}
+
+TEST(FifoResource, FailFlushesQueueAndInflight) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  int completed = 0;
+  std::vector<std::uint64_t> flushed;
+  res.on_flush = [&](const Job& j) { flushed.push_back(j.tag); };
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    res.submit(Job{10.0, i, [&](SimTime, const Job&) { ++completed; }});
+  }
+  sim.schedule_at(1.0, [&] { res.fail(); });
+  sim.run_to_completion();
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(flushed, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_FALSE(res.is_up());
+}
+
+TEST(FifoResource, RecoverAfterFail) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  res.submit(Job{10.0, 0, nullptr});
+  sim.schedule_at(1.0, [&] {
+    res.fail();
+    res.recover();
+    res.submit(Job{1.0, 1, nullptr});
+  });
+  sim.run_to_completion();
+  EXPECT_TRUE(res.is_up());
+  EXPECT_EQ(res.jobs_completed(), 1u);
+}
+
+TEST(FifoResource, UtilizationTracksBusyTime) {
+  Simulation sim;
+  FifoResource res(sim, 2.0);
+  res.submit(Job{8.0, 0, nullptr});  // 4 seconds of service
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(res.busy_time(), 4.0);
+  EXPECT_DOUBLE_EQ(res.utilization(10.0), 0.4);
+}
+
+TEST(FifoResource, CompletionCanResubmit) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  int completions = 0;
+  std::function<void(SimTime, const Job&)> again =
+      [&](SimTime, const Job&) {
+        if (++completions < 3) res.submit(Job{1.0, 0, again});
+      };
+  res.submit(Job{1.0, 0, again});
+  sim.run_to_completion();
+  EXPECT_EQ(completions, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(PeriodicMonitor, FiresAtInterval) {
+  Simulation sim;
+  std::vector<double> ticks;
+  PeriodicMonitor mon(sim, 2.0, [&](SimTime t) { ticks.push_back(t); });
+  sim.run_until(7.0);
+  mon.stop();
+  EXPECT_EQ(ticks, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(PeriodicMonitor, StopInsideTick) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicMonitor mon(sim, 1.0, [&](SimTime) {
+    if (++ticks == 2) mon.stop();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicMonitor, CountsTicks) {
+  Simulation sim;
+  PeriodicMonitor mon(sim, 1.0, [](SimTime) {});
+  sim.run_until(4.5);
+  EXPECT_EQ(mon.ticks_fired(), 4u);
+}
+
+
+TEST(Simulation, CancelAfterFireIsNoop) {
+  Simulation sim;
+  int fired = 0;
+  auto handle = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 1);
+  handle.cancel();  // must not crash or double-count
+  EXPECT_TRUE(handle.cancelled());
+}
+
+TEST(Simulation, SchedulingInThePastAborts) {
+  Simulation sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_to_completion();
+  EXPECT_DEATH(sim.schedule_at(1.0, [] {}), "precondition");
+}
+
+TEST(Simulation, RunUntilIsResumable) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1); });
+  sim.schedule_at(3.0, [&] { fired.push_back(3); });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  sim.run_until(4.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulation, ClockAdvancesToHorizonWithoutEvents) {
+  Simulation sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulation, DeterministicUnderHeavyInterleaving) {
+  auto run = [] {
+    Simulation sim;
+    std::vector<std::uint64_t> order;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      sim.schedule_at(static_cast<double>(i % 7), [&order, i] {
+        order.push_back(i);
+      });
+    }
+    sim.run_to_completion();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FifoResource, ExtractQueuedLeavesInFlight) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  res.submit(Job{10.0, 7, nullptr});  // starts service immediately
+  res.submit(Job{1.0, 7, nullptr});
+  res.submit(Job{1.0, 8, nullptr});
+  const auto taken =
+      res.extract_queued([](const Job& j) { return j.tag == 7; });
+  ASSERT_EQ(taken.size(), 1u);  // only the queued tag-7 job, not in-flight
+  EXPECT_EQ(res.queue_length(), 2u);  // in-flight + remaining tag-8
+}
+
+TEST(FifoResource, ExtractQueuedPreservesArrivalTimes) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  res.submit(Job{10.0, 0, nullptr});
+  sim.schedule_at(2.5, [&] { res.submit(Job{1.0, 1, nullptr}); });
+  sim.run_until(3.0);
+  const auto taken =
+      res.extract_queued([](const Job& j) { return j.tag == 1; });
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_DOUBLE_EQ(taken[0].arrival, 2.5);
+}
+
+TEST(FifoResource, PresetArrivalPreserved) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  double latency = 0.0;
+  sim.schedule_at(5.0, [&] {
+    Job job{1.0, 0, [&](SimTime t, const Job& j) { latency = t - j.arrival; }};
+    job.arrival = 2.0;  // migrated job keeps its original arrival
+    res.submit(std::move(job));
+  });
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(latency, 4.0);  // waited 3 (elsewhere) + 1 service
+}
+
+TEST(FifoResource, BusyTimePartialAtObservation) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  res.submit(Job{10.0, 0, nullptr});
+  sim.run_until(4.0);
+  EXPECT_DOUBLE_EQ(res.busy_time(), 4.0);  // only service actually rendered
+  EXPECT_DOUBLE_EQ(res.utilization(4.0), 1.0);
+}
+
+TEST(FifoResource, FailAccountsPartialService) {
+  Simulation sim;
+  FifoResource res(sim, 2.0);
+  res.submit(Job{10.0, 0, nullptr});  // 5s service at speed 2
+  sim.schedule_at(2.0, [&] { res.fail(); });
+  sim.run_until(8.0);
+  EXPECT_DOUBLE_EQ(res.busy_time(), 2.0);
+}
+
+}  // namespace
+}  // namespace anu::sim

@@ -1,0 +1,50 @@
+// Tests for the parallel sweep utility.
+#include "driver/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace anu::driver {
+namespace {
+
+TEST(Sweep, RunsAllJobs) {
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 50; ++i) jobs.push_back([&] { ++counter; });
+  run_parallel(jobs, 4);
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(Sweep, EmptyJobListIsNoop) {
+  run_parallel({}, 4);  // must not hang or crash
+}
+
+TEST(Sweep, SingleThreadFallback) {
+  int counter = 0;  // non-atomic: safe because threads == 1
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 10; ++i) jobs.push_back([&] { ++counter; });
+  run_parallel(jobs, 1);
+  EXPECT_EQ(counter, 10);
+}
+
+TEST(Sweep, ParallelMapPreservesOrder) {
+  const std::function<int(std::size_t)> square = [](std::size_t i) {
+    return static_cast<int>(i * i);
+  };
+  const auto results = parallel_map<int>(20, square, 4);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(Sweep, MoreThreadsThanJobs) {
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> jobs{[&] { ++counter; }};
+  run_parallel(jobs, 16);
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace anu::driver

@@ -1,0 +1,66 @@
+// Tests for the table/CSV reporting helpers.
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace anu {
+namespace {
+
+TEST(Table, PrintsAlignedBox) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta-long", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("beta-long"), std::string::npos);
+  // Rules above header, below header, below body.
+  std::size_t rules = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_numeric_row({3.14159, 2.71828}, 2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3.14,2.72\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"v"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, WriteCsvFileRoundTrip) {
+  Table t({"h"});
+  t.add_row({"42"});
+  const std::string path = ::testing::TempDir() + "/anu_table_test.csv";
+  ASSERT_TRUE(t.write_csv_file(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "h");
+  std::getline(f, line);
+  EXPECT_EQ(line, "42");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace anu

@@ -1,0 +1,91 @@
+// Unit tests for the fixed-point unit-interval arithmetic.
+#include "common/unit_point.h"
+
+#include <gtest/gtest.h>
+
+namespace anu {
+namespace {
+
+TEST(UnitPoint, RawRoundTrip) {
+  const auto p = UnitPoint::from_raw(12345);
+  EXPECT_EQ(p.raw(), 12345u);
+}
+
+TEST(UnitPoint, OneIsRepresentable) {
+  EXPECT_EQ(UnitPoint::one().raw(), UnitPoint::kOneRaw);
+  EXPECT_DOUBLE_EQ(UnitPoint::one().to_double(), 1.0);
+}
+
+TEST(UnitPoint, FromDoubleSaturates) {
+  EXPECT_EQ(UnitPoint::from_double(-0.5), UnitPoint::zero());
+  EXPECT_EQ(UnitPoint::from_double(1.5), UnitPoint::one());
+}
+
+TEST(UnitPoint, FromDoubleMidpoint) {
+  EXPECT_EQ(UnitPoint::from_double(0.5).raw(), UnitPoint::kOneRaw / 2);
+}
+
+TEST(UnitPoint, FromHashUsesTopBits) {
+  EXPECT_EQ(UnitPoint::from_hash(~0ull).raw(), (~0ull) >> 1);
+  EXPECT_LT(UnitPoint::from_hash(~0ull), UnitPoint::one());
+}
+
+TEST(UnitPoint, PlusMinus) {
+  const auto a = UnitPoint::from_double(0.25);
+  const auto b = UnitPoint::from_double(0.5);
+  EXPECT_EQ(a.plus(a), b);
+  EXPECT_EQ(b.minus(a), a);
+}
+
+TEST(UnitPoint, ScaledExactHalving) {
+  const auto p = UnitPoint::from_raw(1000);
+  EXPECT_EQ(p.scaled(1, 2).raw(), 500u);
+  EXPECT_EQ(p.scaled(1, 1).raw(), 1000u);
+  EXPECT_EQ(p.scaled(0, 7).raw(), 0u);
+}
+
+TEST(UnitPoint, ScaledByDouble) {
+  const auto p = UnitPoint::from_double(0.5);
+  EXPECT_NEAR(p.scaled_by(0.5).to_double(), 0.25, 1e-12);
+  EXPECT_EQ(p.scaled_by(10.0), UnitPoint::one());  // saturates
+}
+
+TEST(UnitSegment, ContainsIsHalfOpen) {
+  const UnitSegment seg{UnitPoint::from_double(0.25),
+                        UnitPoint::from_double(0.5)};
+  EXPECT_TRUE(seg.contains(UnitPoint::from_double(0.25)));
+  EXPECT_TRUE(seg.contains(UnitPoint::from_raw(seg.end.raw() - 1)));
+  EXPECT_FALSE(seg.contains(seg.end));
+  EXPECT_FALSE(seg.contains(UnitPoint::zero()));
+}
+
+TEST(UnitSegment, LengthAndEmpty) {
+  const UnitSegment seg{UnitPoint::from_double(0.25),
+                        UnitPoint::from_double(0.5)};
+  EXPECT_EQ(seg.length(), UnitPoint::from_double(0.25));
+  const UnitSegment empty{UnitPoint::from_double(0.3),
+                          UnitPoint::from_double(0.3)};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.contains(UnitPoint::from_double(0.3)));
+}
+
+TEST(UnitSegment, OverlapsAndCovers) {
+  const UnitSegment a{UnitPoint::from_double(0.0), UnitPoint::from_double(0.5)};
+  const UnitSegment b{UnitPoint::from_double(0.4), UnitPoint::from_double(0.6)};
+  const UnitSegment c{UnitPoint::from_double(0.5), UnitPoint::from_double(0.7)};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));  // half-open: touching is not overlap
+  EXPECT_TRUE(a.covers({UnitPoint::from_double(0.1), UnitPoint::from_double(0.2)}));
+  EXPECT_FALSE(a.covers(b));
+}
+
+TEST(UnitSegment, IntersectionLength) {
+  const UnitSegment a{UnitPoint::from_double(0.0), UnitPoint::from_double(0.5)};
+  const UnitSegment b{UnitPoint::from_double(0.4), UnitPoint::from_double(0.6)};
+  EXPECT_NEAR(intersection_length(a, b).to_double(), 0.1, 1e-12);
+  const UnitSegment c{UnitPoint::from_double(0.7), UnitPoint::from_double(0.8)};
+  EXPECT_EQ(intersection_length(a, c), UnitPoint::zero());
+}
+
+}  // namespace
+}  // namespace anu

@@ -1,0 +1,314 @@
+// Tests for the workload substrate: synthetic generator, trace synthesizer,
+// trace format round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+#include "workload/workload.h"
+
+namespace anu::workload {
+namespace {
+
+SyntheticConfig small_synthetic() {
+  SyntheticConfig config;
+  config.file_set_count = 10;
+  config.request_count = 2'000;
+  config.duration = 600.0;
+  return config;
+}
+
+TEST(Workload, AccessorsAndTotals) {
+  std::vector<FileSet> fs{{FileSetId(0), "a", 2.0}, {FileSetId(1), "b", 3.0}};
+  std::vector<Request> reqs{{1.0, FileSetId(0), 0.5},
+                            {2.0, FileSetId(1), 0.25}};
+  const Workload w(fs, reqs);
+  EXPECT_EQ(w.file_set_count(), 2u);
+  EXPECT_EQ(w.request_count(), 2u);
+  EXPECT_DOUBLE_EQ(w.total_weight(), 5.0);
+  EXPECT_DOUBLE_EQ(w.total_demand(), 0.75);
+  EXPECT_DOUBLE_EQ(w.span(), 2.0);
+  EXPECT_EQ(w.file_set(FileSetId(1)).name, "b");
+  EXPECT_EQ(w.requests_per_file_set(), (std::vector<std::size_t>{1, 1}));
+}
+
+TEST(Synthetic, ExactRequestAndFileSetCounts) {
+  const auto w = make_synthetic_workload(small_synthetic());
+  EXPECT_EQ(w.file_set_count(), 10u);
+  EXPECT_EQ(w.request_count(), 2'000u);
+}
+
+TEST(Synthetic, PaperScaleCounts) {
+  // The paper's exact workload: 66,401 requests against 50 file sets over
+  // 200 minutes (§5.2.1).
+  SyntheticConfig config;  // defaults are the paper values
+  const auto w = make_synthetic_workload(config);
+  EXPECT_EQ(w.file_set_count(), 50u);
+  EXPECT_EQ(w.request_count(), 66'401u);
+  EXPECT_LE(w.span(), 200.0 * 60.0);
+}
+
+TEST(Synthetic, RequestsSortedWithinDuration) {
+  const auto w = make_synthetic_workload(small_synthetic());
+  double last = 0.0;
+  for (const auto& r : w.requests()) {
+    EXPECT_GE(r.arrival, last);
+    EXPECT_LT(r.arrival, 600.0);
+    last = r.arrival;
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const auto a = make_synthetic_workload(small_synthetic());
+  const auto b = make_synthetic_workload(small_synthetic());
+  ASSERT_EQ(a.request_count(), b.request_count());
+  for (std::size_t i = 0; i < a.request_count(); ++i) {
+    EXPECT_EQ(a.requests()[i].arrival, b.requests()[i].arrival);
+    EXPECT_EQ(a.requests()[i].demand, b.requests()[i].demand);
+  }
+}
+
+TEST(Synthetic, SeedChangesWorkload) {
+  auto config = small_synthetic();
+  const auto a = make_synthetic_workload(config);
+  config.seed += 1;
+  const auto b = make_synthetic_workload(config);
+  EXPECT_NE(a.requests()[0].arrival, b.requests()[0].arrival);
+}
+
+TEST(Synthetic, OfferedLoadMatchesTargetUtilization) {
+  const auto config = small_synthetic();
+  const auto w = make_synthetic_workload(config);
+  const double offered = w.total_demand();
+  const double capacity = config.duration * config.cluster_capacity;
+  EXPECT_NEAR(offered / capacity, config.target_utilization, 0.02);
+}
+
+TEST(Synthetic, RequestCountsProportionalToWeights) {
+  auto config = small_synthetic();
+  config.demand_jitter_sigma = 0.0;
+  const auto w = make_synthetic_workload(config);
+  const auto counts = w.requests_per_file_set();
+  double weight_sum = 0.0;
+  for (const auto& fs : w.file_sets()) weight_sum += fs.weight;
+  for (std::size_t i = 0; i < w.file_set_count(); ++i) {
+    const double expected = static_cast<double>(w.request_count()) *
+                            w.file_sets()[i].weight / weight_sum;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, expected * 0.05 + 2)
+        << "file set " << i;
+  }
+}
+
+TEST(Synthetic, WeightFactorSpreadIsPaperRange) {
+  // X ~ U[1,10]: max/min weight ratio must stay within a factor of 10.
+  const auto w =
+      make_synthetic_workload(SyntheticConfig{});  // 50 sets, better stats
+  double lo = 1e18, hi = 0.0;
+  for (const auto& fs : w.file_sets()) {
+    lo = std::min(lo, fs.weight);
+    hi = std::max(hi, fs.weight);
+  }
+  EXPECT_LE(hi / lo, 10.0);
+  EXPECT_GT(hi / lo, 2.0);  // and real spread exists
+}
+
+TEST(Synthetic, EveryFileSetHasRequests) {
+  const auto w = make_synthetic_workload(small_synthetic());
+  for (std::size_t c : w.requests_per_file_set()) EXPECT_GE(c, 1u);
+}
+
+TEST(TraceSynth, DfsTraceShape) {
+  // §5.1: one-hour DFSTrace workload, 21 file sets, 112,590 requests.
+  TraceSynthConfig config;
+  const auto w = synthesize_trace(config);
+  EXPECT_EQ(w.file_set_count(), 21u);
+  EXPECT_EQ(w.request_count(), 112'590u);
+  EXPECT_LE(w.span(), 3600.0);
+}
+
+TEST(TraceSynth, PopularityIsSkewed) {
+  TraceSynthConfig config;
+  const auto w = synthesize_trace(config);
+  const auto counts = w.requests_per_file_set();
+  EXPECT_GT(counts.front(), counts.back() * 5);  // Zipf head vs tail
+}
+
+TEST(TraceSynth, Deterministic) {
+  TraceSynthConfig config;
+  config.request_count = 5'000;
+  const auto a = synthesize_trace(config);
+  const auto b = synthesize_trace(config);
+  for (std::size_t i = 0; i < a.request_count(); ++i) {
+    ASSERT_EQ(a.requests()[i].arrival, b.requests()[i].arrival);
+  }
+}
+
+TEST(TraceSynth, ModulationKeepsOrderAndBounds) {
+  TraceSynthConfig config;
+  config.request_count = 10'000;
+  config.intensity_modulation = 0.8;
+  const auto w = synthesize_trace(config);
+  double last = 0.0;
+  for (const auto& r : w.requests()) {
+    EXPECT_GE(r.arrival, last);
+    EXPECT_LE(r.arrival, config.duration);
+    last = r.arrival;
+  }
+}
+
+TEST(TraceFormat, RoundTripsThroughText) {
+  TraceSynthConfig config;
+  config.request_count = 1'000;
+  config.file_set_count = 7;
+  const auto w = synthesize_trace(config);
+  std::stringstream buffer;
+  write_trace(buffer, w);
+  TraceParseError error;
+  const auto parsed = read_trace(buffer, &error);
+  ASSERT_TRUE(parsed.has_value()) << error.message;
+  ASSERT_EQ(parsed->request_count(), w.request_count());
+  ASSERT_EQ(parsed->file_set_count(), w.file_set_count());
+  for (std::size_t i = 0; i < w.request_count(); ++i) {
+    EXPECT_NEAR(parsed->requests()[i].arrival, w.requests()[i].arrival, 1e-6);
+    EXPECT_EQ(parsed->requests()[i].file_set, w.requests()[i].file_set);
+  }
+  for (std::size_t i = 0; i < w.file_set_count(); ++i) {
+    EXPECT_EQ(parsed->file_sets()[i].name, w.file_sets()[i].name);
+  }
+}
+
+TEST(TraceFormat, RejectsUnknownRecord) {
+  std::istringstream is("bogus 1 2 3\n");
+  TraceParseError error;
+  EXPECT_FALSE(read_trace(is, &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+}
+
+TEST(TraceFormat, RejectsUndeclaredFileSet) {
+  std::istringstream is("req 1.0 0 0.5\n");
+  TraceParseError error;
+  EXPECT_FALSE(read_trace(is, &error).has_value());
+}
+
+TEST(TraceFormat, RejectsOutOfOrderRequests) {
+  std::istringstream is(
+      "fileset 0 a 1.0\n"
+      "req 2.0 0 0.5\n"
+      "req 1.0 0 0.5\n");
+  TraceParseError error;
+  EXPECT_FALSE(read_trace(is, &error).has_value());
+  EXPECT_EQ(error.line, 3u);
+}
+
+TEST(TraceFormat, RejectsNonDenseFileSetIds) {
+  std::istringstream is("fileset 1 a 1.0\n");
+  EXPECT_FALSE(read_trace(is).has_value());
+}
+
+TEST(TraceFormat, SkipsCommentsAndBlankLines) {
+  std::istringstream is(
+      "# header\n"
+      "\n"
+      "fileset 0 a 1.0\n"
+      "# mid comment\n"
+      "req 1.0 0 0.5\n");
+  const auto parsed = read_trace(is);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->request_count(), 1u);
+}
+
+TEST(TraceFormat, FileRoundTrip) {
+  TraceSynthConfig config;
+  config.request_count = 200;
+  config.file_set_count = 3;
+  const auto w = synthesize_trace(config);
+  const std::string path = ::testing::TempDir() + "/anu_trace_test.txt";
+  ASSERT_TRUE(write_trace_file(path, w));
+  const auto parsed = read_trace_file(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->request_count(), 200u);
+}
+
+TEST(TraceFormat, MissingFileReportsError) {
+  TraceParseError error;
+  EXPECT_FALSE(read_trace_file("/nonexistent/anu.txt", &error).has_value());
+  EXPECT_EQ(error.line, 0u);
+}
+
+
+TEST(Synthetic, InterArrivalsAreHeavyTailed) {
+  // §5.2.1: "inter-arrival times in each file set are governed by a Pareto
+  // distribution that is heavy-tailed." The squared coefficient of
+  // variation of a file set's gaps should far exceed an exponential's 1.
+  workload::SyntheticConfig config;
+  config.file_set_count = 1;  // one stream, clean gap statistics
+  config.request_count = 20'000;
+  config.duration = 20'000.0;
+  const auto w = make_synthetic_workload(config);
+  double sum = 0.0, sq = 0.0;
+  std::size_t n = 0;
+  double last = 0.0;
+  for (const auto& r : w.requests()) {
+    const double gap = r.arrival - last;
+    last = r.arrival;
+    sum += gap;
+    sq += gap * gap;
+    ++n;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sq / static_cast<double>(n) - mean * mean;
+  EXPECT_GT(var / (mean * mean), 3.0);  // exponential would be ~1
+}
+
+TEST(TraceSynth, IntensityModulationCreatesDensityContrast) {
+  // With strong modulation the busiest tenth of the hour must see far more
+  // requests than the quietest tenth.
+  TraceSynthConfig config;
+  config.request_count = 50'000;
+  config.intensity_modulation = 0.8;
+  const auto w = synthesize_trace(config);
+  std::vector<std::size_t> deciles(10, 0);
+  for (const auto& r : w.requests()) {
+    auto d = static_cast<std::size_t>(r.arrival / config.duration * 10.0);
+    ++deciles[std::min<std::size_t>(d, 9)];
+  }
+  std::size_t lo = w.request_count(), hi = 0;
+  for (auto d : deciles) {
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GT(hi, lo * 2);
+}
+
+TEST(TraceSynth, ZeroModulationIsRoughlyStationary) {
+  TraceSynthConfig config;
+  config.request_count = 50'000;
+  config.intensity_modulation = 0.0;
+  config.pareto_shape = 2.5;  // milder burstiness for a stationarity check
+  const auto w = synthesize_trace(config);
+  std::vector<std::size_t> halves(2, 0);
+  for (const auto& r : w.requests()) {
+    ++halves[r.arrival < config.duration / 2 ? 0 : 1];
+  }
+  const double ratio = static_cast<double>(halves[0]) /
+                       static_cast<double>(halves[1]);
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(Synthetic, DemandJitterPreservesMeanLoad) {
+  workload::SyntheticConfig with_jitter;
+  with_jitter.file_set_count = 10;
+  with_jitter.request_count = 50'000;
+  with_jitter.duration = 5'000.0;
+  with_jitter.demand_jitter_sigma = 0.5;
+  auto without_jitter = with_jitter;
+  without_jitter.demand_jitter_sigma = 0.0;
+  const auto a = make_synthetic_workload(with_jitter);
+  const auto b = make_synthetic_workload(without_jitter);
+  EXPECT_NEAR(a.total_demand() / b.total_demand(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace anu::workload

@@ -1,0 +1,184 @@
+// anu_sim — config-driven cluster load-management simulator.
+//
+// Usage:
+//   anu_sim <config-file>            # run the configured system
+//   anu_sim --compare <config-file>  # run all four systems, compare
+//   anu_sim --example                # print a commented example config
+//
+// The config format is documented in src/driver/config_file.h. The tool
+// replays the configured workload against the configured system and prints
+// the experiment summary; with `csv_out` set it also writes the per-server
+// latency time series for plotting.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.h"
+#include "driver/config_file.h"
+#include "metrics/consistency.h"
+
+using namespace anu;
+using namespace anu::driver;
+
+namespace {
+
+constexpr const char* kExample = R"(# anu_sim example configuration
+workload synthetic
+seed 42
+file_sets 50
+requests 66401
+duration_min 200
+utilization 0.55
+speeds 1 3 5 7 9
+system anu
+tuning_interval_s 120
+# fail a server mid-run and bring it back:
+fail 60 4
+recover 90 4
+# csv_out latency_series.csv
+)";
+
+int run(const char* path) {
+  ConfigError error;
+  const auto spec = parse_sim_config_file(path, &error);
+  if (!spec) {
+    std::fprintf(stderr, "%s:%zu: %s\n", path, error.line,
+                 error.message.c_str());
+    return 1;
+  }
+  const auto workload = build_workload(*spec, &error);
+  if (!workload) {
+    std::fprintf(stderr, "%s: %s\n", path, error.message.c_str());
+    return 1;
+  }
+
+  auto balancer = make_balancer(
+      spec->system, spec->experiment.cluster.server_speeds.size());
+  std::printf("anu_sim: %zu requests / %zu file sets on %zu servers, "
+              "system %s\n",
+              workload->request_count(), workload->file_set_count(),
+              spec->experiment.cluster.server_speeds.size(),
+              system_label(spec->system.kind).c_str());
+  const auto result = run_experiment(spec->experiment, *workload, *balancer);
+
+  Table summary({"metric", "value"});
+  summary.add_row({"requests completed",
+                   std::to_string(result.requests_completed)});
+  summary.add_row({"mean latency (s)",
+                   format_double(result.aggregate.mean(), 4)});
+  summary.add_row({"latency stddev", format_double(result.aggregate.stddev(), 4)});
+  summary.add_row({"steady-state mean (s)",
+                   format_double(result.steady_state.mean(), 4)});
+  summary.add_row({"p50 / p95 / p99 (s)",
+                   format_double(result.latency_histogram.quantile(0.50), 3) +
+                       " / " +
+                       format_double(result.latency_histogram.quantile(0.95), 3) +
+                       " / " +
+                       format_double(result.latency_histogram.quantile(0.99), 3)});
+  summary.add_row({"file-set moves", std::to_string(result.total_moved)});
+  summary.add_row({"% workload moved (cumulative)",
+                   format_double(result.percent_workload_moved, 1)});
+  summary.add_row({"replicated state (bytes)",
+                   std::to_string(result.shared_state_bytes)});
+  const auto consistency =
+      metrics::performance_consistency(result.per_server);
+  summary.add_row({"per-server latency CV",
+                   format_double(consistency.latency_cv, 3)});
+  summary.add_row({"tuning rounds", std::to_string(result.tuning_rounds)});
+  summary.print(std::cout);
+
+  Table servers({"server", "served", "mean_latency", "utilization"});
+  for (std::size_t s = 0; s < result.server_count; ++s) {
+    servers.add_row({std::to_string(s), std::to_string(result.served[s]),
+                     format_double(result.per_server[s].mean(), 4),
+                     format_double(result.utilization[s], 3)});
+  }
+  servers.print(std::cout);
+
+  if (!spec->csv_out.empty()) {
+    std::vector<std::string> headers{"time_s"};
+    for (std::size_t s = 0; s < result.server_count; ++s) {
+      headers.push_back("server" + std::to_string(s));
+    }
+    Table series(std::move(headers));
+    const std::size_t windows = result.latency_over_time.empty()
+                                    ? 0
+                                    : result.latency_over_time[0].size();
+    for (std::size_t w = 0; w < windows; ++w) {
+      std::vector<double> row{result.latency_over_time[0][w].time};
+      for (std::size_t s = 0; s < result.server_count; ++s) {
+        row.push_back(result.latency_over_time[s][w].value);
+      }
+      series.add_numeric_row(row, 4);
+    }
+    if (series.write_csv_file(spec->csv_out)) {
+      std::printf("wrote latency series to %s\n", spec->csv_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", spec->csv_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int compare(const char* path) {
+  ConfigError error;
+  const auto spec = parse_sim_config_file(path, &error);
+  if (!spec) {
+    std::fprintf(stderr, "%s:%zu: %s\n", path, error.line,
+                 error.message.c_str());
+    return 1;
+  }
+  const auto workload = build_workload(*spec, &error);
+  if (!workload) {
+    std::fprintf(stderr, "%s: %s\n", path, error.message.c_str());
+    return 1;
+  }
+  std::printf("anu_sim --compare: %zu requests / %zu file sets on %zu "
+              "servers\n",
+              workload->request_count(), workload->file_set_count(),
+              spec->experiment.cluster.server_speeds.size());
+
+  Table table({"system", "mean_latency", "stddev", "steady_mean", "p99",
+               "moves", "state_bytes", "latency_cv"});
+  for (SystemKind kind : kAllSystems) {
+    SystemConfig system = spec->system;  // carries anu/vp sub-configs
+    system.kind = kind;
+    auto balancer = make_balancer(
+        system, spec->experiment.cluster.server_speeds.size());
+    const auto result = run_experiment(spec->experiment, *workload, *balancer);
+    const auto consistency =
+        metrics::performance_consistency(result.per_server, 0.02);
+    table.add_row({system_label(kind),
+                   format_double(result.aggregate.mean(), 3),
+                   format_double(result.aggregate.stddev(), 3),
+                   format_double(result.steady_state.mean(), 3),
+                   format_double(result.latency_histogram.quantile(0.99), 3),
+                   std::to_string(result.total_moved),
+                   std::to_string(result.shared_state_bytes),
+                   format_double(consistency.latency_cv, 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--example") == 0) {
+    std::fputs(kExample, stdout);
+    return 0;
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--compare") == 0) {
+    return compare(argv[2]);
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <config-file>\n"
+                 "       %s --compare <config-file>\n"
+                 "       %s --example\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  return run(argv[1]);
+}
