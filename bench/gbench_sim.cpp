@@ -1,10 +1,16 @@
 // google-benchmark: discrete-event engine throughput — the substrate every
-// experiment runs on. Measures raw event dispatch and the FIFO-resource
-// service loop at several queue depths.
+// experiment runs on. Measures raw event dispatch, the FIFO-resource
+// service loop at several queue depths, and the end-to-end experiment
+// driver with tracing off vs on (the observability overhead contract in
+// docs/observability.md: disabled tracing must cost < 2%).
 #include <benchmark/benchmark.h>
 
+#include "driver/balancer_factory.h"
+#include "driver/experiment.h"
+#include "obs/trace_sink.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
+#include "workload/synthetic.h"
 
 namespace {
 
@@ -57,5 +63,41 @@ void BM_FifoServiceLoop(benchmark::State& state) {
                           static_cast<std::int64_t>(jobs));
 }
 BENCHMARK(BM_FifoServiceLoop)->Arg(1024)->Arg(8192);
+
+// End-to-end experiment run, tracing disabled vs enabled. The untraced
+// variant is the regression guard for the instrumentation: every emit site
+// is a single null-pointer branch, so it must stay within noise of the
+// pre-observability driver.
+void run_experiment_bench(benchmark::State& state, bool traced) {
+  anu::workload::SyntheticConfig wconfig;
+  wconfig.request_count = 8000;
+  wconfig.file_set_count = 30;
+  wconfig.duration = 1200.0;
+  const auto workload = anu::workload::make_synthetic_workload(wconfig);
+  anu::driver::ExperimentConfig config;
+  config.tuning_interval = 60.0;
+  for (auto _ : state) {
+    anu::obs::TraceSink sink;
+    config.trace = traced ? &sink : nullptr;
+    auto balancer = anu::driver::make_balancer(
+        anu::driver::SystemConfig{},
+        config.cluster.server_speeds.size());
+    const auto result =
+        anu::driver::run_experiment(config, workload, *balancer);
+    benchmark::DoNotOptimize(result.requests_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wconfig.request_count));
+}
+
+void BM_ExperimentUntraced(benchmark::State& state) {
+  run_experiment_bench(state, /*traced=*/false);
+}
+BENCHMARK(BM_ExperimentUntraced);
+
+void BM_ExperimentTraced(benchmark::State& state) {
+  run_experiment_bench(state, /*traced=*/true);
+}
+BENCHMARK(BM_ExperimentTraced);
 
 }  // namespace

@@ -1,12 +1,27 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, test, run every figure harness and
+# Full verification: format check, configure, build, test (including the
+# obs-labeled observability suite), run every figure harness and
 # microbenchmark. This is what CI runs and what EXPERIMENTS.md numbers come
 # from.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Style gate. clang-format is optional in minimal containers; the check is
+# skipped (with a warning) when absent rather than silently diverging.
+if command -v clang-format >/dev/null 2>&1; then
+  echo "=== clang-format --dry-run --Werror ==="
+  find src tests tools -name '*.h' -o -name '*.cpp' | \
+    xargs clang-format --dry-run --Werror
+else
+  echo "warning: clang-format not found; skipping format check" >&2
+fi
+
 cmake -B build -G Ninja
 cmake --build build
+
+# Observability suite first (fast, and the schema/doc contract fails
+# loudly), then everything.
+ctest --test-dir build -L obs --output-on-failure
 ctest --test-dir build --output-on-failure
 
 for b in build/bench/*; do

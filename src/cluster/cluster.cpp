@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include "common/assert.h"
+#include "obs/trace_sink.h"
 
 namespace anu::cluster {
 
@@ -70,11 +71,26 @@ ServerId Cluster::add_server(double speed) {
     if (on_flush) on_flush(fs, demand);
   };
   servers_.push_back(std::move(s));
+  // Initial construction also lands here; a t=0 server_add per initial
+  // server gives the trace a self-describing cluster roster.
+  if (auto* t = sim_.trace()) {
+    t->emit(sim_.now(), obs::EventType::kServerAdd, id.value(), 0, 0, speed);
+  }
   return id;
 }
 
-void Cluster::fail_server(ServerId id) { server(id).fail(); }
+void Cluster::fail_server(ServerId id) {
+  if (auto* t = sim_.trace()) {
+    t->emit(sim_.now(), obs::EventType::kServerFail, id.value());
+  }
+  server(id).fail();
+}
 
-void Cluster::recover_server(ServerId id) { server(id).recover(); }
+void Cluster::recover_server(ServerId id) {
+  if (auto* t = sim_.trace()) {
+    t->emit(sim_.now(), obs::EventType::kServerRecover, id.value());
+  }
+  server(id).recover();
+}
 
 }  // namespace anu::cluster

@@ -6,6 +6,21 @@
 
 namespace anu::cluster {
 
+const char* action_name(MembershipAction action) {
+  switch (action) {
+    case MembershipAction::kFail:
+      return "fail";
+    case MembershipAction::kRecover:
+      return "recover";
+    case MembershipAction::kAdd:
+      return "add";
+    case MembershipAction::kRemove:
+      return "remove";
+  }
+  ANU_ENSURE(false && "unknown membership action");
+  return "unknown";
+}
+
 FailureSchedule::FailureSchedule(std::vector<MembershipEvent> events)
     : events_(std::move(events)) {
   ANU_REQUIRE(std::is_sorted(events_.begin(), events_.end(),

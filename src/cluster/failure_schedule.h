@@ -15,6 +15,11 @@ namespace anu::cluster {
 
 enum class MembershipAction { kFail, kRecover, kAdd, kRemove };
 
+/// Stable lower-case name of a membership action ("fail", "recover",
+/// "add", "remove") — what the telemetry manifest and the config format
+/// both use, so a manifest's membership script round-trips into a config.
+[[nodiscard]] const char* action_name(MembershipAction action);
+
 struct MembershipEvent {
   SimTime when = 0.0;
   MembershipAction action = MembershipAction::kFail;

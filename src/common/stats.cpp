@@ -112,6 +112,10 @@ void LogHistogram::merge(const LogHistogram& other) {
   total_ += other.total_;
 }
 
+double LogHistogram::bucket_lower(std::size_t i) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(i) / per_decade_);
+}
+
 double LogHistogram::quantile(double q) const {
   ANU_REQUIRE(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return 0.0;

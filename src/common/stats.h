@@ -70,6 +70,15 @@ class LogHistogram {
   /// Quantile estimate (geometric midpoint of the selected bucket).
   [[nodiscard]] double quantile(double q) const;
 
+  // Bucket introspection (serialized into the telemetry manifest; see
+  // docs/observability.md).
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  /// Lower edge of bucket i in value space; bucket i covers
+  /// [bucket_lower(i), bucket_lower(i + 1)), with the first and last
+  /// buckets absorbing underflow/overflow.
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+
  private:
   [[nodiscard]] std::size_t bucket_of(double x) const;
 

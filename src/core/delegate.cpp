@@ -19,16 +19,28 @@ ServerId DelegateElection::current() const {
 void DelegateElection::on_server_failed(ServerId id) {
   ANU_REQUIRE(id.value() < up_.size());
   ANU_REQUIRE(up_[id.value()]);
+  const ServerId before = current();
   up_[id.value()] = false;
+  notify(before);
 }
 
 void DelegateElection::on_server_recovered(ServerId id) {
   ANU_REQUIRE(id.value() < up_.size());
   ANU_REQUIRE(!up_[id.value()]);
+  const ServerId before = current();
   up_[id.value()] = true;
+  notify(before);
 }
 
-void DelegateElection::on_server_added() { up_.push_back(true); }
+void DelegateElection::on_server_added() {
+  const ServerId before = current();
+  up_.push_back(true);
+  notify(before);
+}
+
+void DelegateElection::notify(ServerId before) {
+  if (on_change && current() != before) on_change(current(), before);
+}
 
 std::size_t DelegateElection::up_count() const {
   std::size_t n = 0;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/types.h"
@@ -36,7 +37,15 @@ class DelegateElection {
   [[nodiscard]] std::size_t up_count() const;
   [[nodiscard]] bool is_delegate(ServerId id) const { return current() == id; }
 
+  /// Fired when a membership update changes who the delegate is:
+  /// (new_delegate, previous_delegate). The observability layer hangs the
+  /// delegate_elected trace event off this (docs/observability.md); the
+  /// new delegate may be invalid() when the whole cluster is down.
+  std::function<void(ServerId now, ServerId before)> on_change;
+
  private:
+  void notify(ServerId before);
+
   std::vector<bool> up_;
 };
 

@@ -8,7 +8,8 @@
 namespace anu::core {
 
 TunerDecision run_delegate_round(const std::vector<TunerInput>& inputs,
-                                 const TunerConfig& config) {
+                                 const TunerConfig& config,
+                                 obs::TraceSink* trace, SimTime now) {
   ANU_REQUIRE(!inputs.empty());
   ANU_REQUIRE(config.alpha > 0.0);
   ANU_REQUIRE(config.growth_cap >= 1.0);
@@ -35,6 +36,11 @@ TunerDecision run_delegate_round(const std::vector<TunerInput>& inputs,
   const double average =
       completions > 0 ? weighted_sum / static_cast<double>(completions) : 0.0;
   decision.system_average = average;
+  if (trace) {
+    trace->emit(now, obs::EventType::kDelegateRound,
+                static_cast<std::uint32_t>(up_servers),
+                static_cast<std::uint32_t>(completions), 0, average);
+  }
 
   // Equal share in the same weight scale as current shares.
   double share_sum = 0.0;

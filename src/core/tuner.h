@@ -26,6 +26,7 @@
 
 #include "balance/balancer.h"
 #include "common/unit_point.h"
+#include "obs/trace_sink.h"
 
 namespace anu::core {
 
@@ -81,8 +82,12 @@ struct TunerDecision {
 
 /// Pure function of (inputs, config) — the delegate is stateless, so a
 /// newly elected delegate running the same protocol on the same reports
-/// reaches the same configuration (paper §4).
+/// reaches the same configuration (paper §4). When `trace` is non-null a
+/// delegate_round event (reporting count, completions, system average) is
+/// emitted at `now`; tracing is observational and never alters the
+/// decision.
 [[nodiscard]] TunerDecision run_delegate_round(
-    const std::vector<TunerInput>& inputs, const TunerConfig& config);
+    const std::vector<TunerInput>& inputs, const TunerConfig& config,
+    obs::TraceSink* trace = nullptr, SimTime now = 0.0);
 
 }  // namespace anu::core

@@ -170,6 +170,10 @@ std::optional<SimSpec> parse_sim_config(std::istream& is, ConfigError* error) {
       spec.workload = SimSpec::WorkloadKind::kTrace;
     } else if (key == "csv_out") {
       if (!want(spec.csv_out, "path")) return std::nullopt;
+    } else if (key == "trace_out") {
+      if (!want(spec.trace_out, "path")) return std::nullopt;
+    } else if (key == "manifest_out") {
+      if (!want(spec.manifest_out, "path")) return std::nullopt;
     } else {
       return fail(error, lineno, "unknown key: " + key);
     }

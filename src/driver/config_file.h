@@ -23,6 +23,9 @@
 //   remove 120 0
 //   trace_file path.trace         # workload trace: replay this file
 //   csv_out series.csv            # optional latency-series CSV
+//   trace_out run.json            # event trace (.jsonl -> JSONL, else
+//                                 # Chrome trace_event; docs/observability.md)
+//   manifest_out run.manifest.json  # per-run telemetry manifest
 //
 // Membership events must appear in time order.
 #pragma once
@@ -48,6 +51,11 @@ struct SimSpec {
   SystemConfig system;
   ExperimentConfig experiment;
   std::string csv_out;
+  /// Event-trace output path ("" = tracing off). Extension picks the
+  /// format: .jsonl -> JSONL, anything else -> Chrome trace_event.
+  std::string trace_out;
+  /// Telemetry-manifest output path ("" = off). See docs/observability.md.
+  std::string manifest_out;
 };
 
 struct ConfigError {

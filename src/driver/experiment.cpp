@@ -38,6 +38,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       config.horizon > 0.0 ? config.horizon : workload.span() + 1.0;
 
   sim::Simulation sim;
+  // Attach the sink before the cluster constructs so the initial
+  // server_add roster lands in the trace.
+  obs::TraceSink* const trace = config.trace;
+  sim.set_trace(trace);
   cluster::Cluster cluster(sim, config.cluster);
   metrics::LatencyTracker latency(cluster.server_count());
 
@@ -66,6 +70,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       // the failure path already rerouted its file sets.
       if (!cluster.is_up(move.to)) continue;
       cluster.migrate_queued(move.file_set, from, move.to);
+      // Traced at commit time (not decision time), so with control_delay
+      // the trace shows when routing actually changed.
+      if (trace) {
+        trace->emit(sim.now(), obs::EventType::kFileSetMove,
+                    move.file_set.value(), from.value(), move.to.value());
+      }
       routing[move.file_set.value()] = move.to;
       if (config.move_warmup_penalty > 0.0) {
         pending_penalty[move.file_set.value()] = config.move_warmup_penalty;
@@ -104,6 +114,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     const ServerId target = routing[fs.value()];
     double extra = 0.0;
     std::swap(extra, pending_penalty[fs.value()]);
+    if (trace) {
+      trace->emit(sim.now(), obs::EventType::kRequestIssue, fs.value(),
+                  target.value(), 0, demand + extra);
+    }
     cluster.submit(target, fs, demand + extra);
   };
 
@@ -113,6 +127,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     latency.observe(c);
     histogram.add(c.latency());
     if (c.completion >= horizon * 0.5) steady_state.add(c.latency());
+    if (trace) {
+      trace->emit(c.completion, obs::EventType::kRequestComplete,
+                  c.file_set.value(), c.server.value(), 0, c.latency());
+    }
   };
   // Requests stranded on a failing server re-dispatch through the (already
   // updated) placement.
@@ -183,6 +201,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     }
     if (total_weight > 0.0) {
       for (double& s : sample.share) s /= total_weight;
+    }
+    if (trace) {
+      const auto& round = movement.rounds().back();
+      trace->emit(now, obs::EventType::kTuningRound,
+                  static_cast<std::uint32_t>(rounds),
+                  static_cast<std::uint32_t>(round.moved), 0,
+                  round.moved_weight, round.cumulative_pct);
+      for (std::uint32_t s = 0; s < sample.share.size(); ++s) {
+        trace->emit(now, obs::EventType::kRegionRetune, s, 0, 0,
+                    sample.share[s]);
+      }
     }
     share_samples.push_back(std::move(sample));
   });

@@ -18,6 +18,7 @@
 #include "cluster/failure_schedule.h"
 #include "common/stats.h"
 #include "metrics/movement_tracker.h"
+#include "obs/trace_sink.h"
 #include "workload/workload.h"
 
 namespace anu::driver {
@@ -44,6 +45,11 @@ struct ExperimentConfig {
   SimTime control_delay = 0.0;
   /// Scripted membership changes.
   cluster::FailureSchedule failures;
+  /// Structured event tracing (docs/observability.md). Null disables; the
+  /// sink is caller-owned and must outlive the run. Also installed as the
+  /// Simulation's trace conduit, so cluster membership and (in protocol
+  /// experiments) message events share the same timeline.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct ExperimentResult {

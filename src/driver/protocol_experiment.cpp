@@ -15,6 +15,8 @@ ExperimentResult run_protocol_experiment(
   const std::size_t servers = config.cluster.server_speeds.size();
 
   sim::Simulation sim;
+  obs::TraceSink* const trace = config.trace;
+  sim.set_trace(trace);
   cluster::Cluster cluster(sim, config.cluster);
   proto::Network network(sim, config.network, servers);
   metrics::LatencyTracker latency(servers);
@@ -45,6 +47,9 @@ ExperimentResult run_protocol_experiment(
     if (cluster.is_up(ServerId(from)) && cluster.is_up(ServerId(to))) {
       cluster.migrate_queued(FileSetId(fs), ServerId(from), ServerId(to));
     }
+    if (trace) {
+      trace->emit(sim.now(), obs::EventType::kFileSetMove, fs, from, to);
+    }
     balance::RebalanceResult one;
     one.moves.push_back(
         {FileSetId(fs), ServerId(from), ServerId(to)});
@@ -57,6 +62,10 @@ ExperimentResult run_protocol_experiment(
     latency.observe(c);
     histogram.add(c.latency());
     if (c.completion >= horizon * 0.5) steady_state.add(c.latency());
+    if (trace) {
+      trace->emit(c.completion, obs::EventType::kRequestComplete,
+                  c.file_set.value(), c.server.value(), 0, c.latency());
+    }
   };
 
   // Requests are routed by the replica of a rotating contact node — the
@@ -82,6 +91,10 @@ ExperimentResult run_protocol_experiment(
                               ? target
                               : protocol.route_from(protocol.delegate(),
                                                     workload.file_set(fs).name);
+    if (trace) {
+      trace->emit(sim.now(), obs::EventType::kRequestIssue, fs.value(),
+                  safe.value(), 0, demand);
+    }
     cluster.submit(safe, fs, demand);
   };
   cluster.on_flush = [&](FileSetId fs, double demand) { dispatch(fs, demand); };

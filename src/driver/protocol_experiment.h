@@ -34,6 +34,10 @@ struct ProtocolExperimentConfig {
   SimTime horizon = 0.0;          // 0 = workload span
   SimTime series_window = 300.0;
   cluster::FailureSchedule failures;
+  /// Structured event tracing (docs/observability.md); this path also
+  /// emits the protocol's message_send/recv, delegate_round, map_apply
+  /// and delegate_elected events. Null disables; caller-owned.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Runs the workload with ANU managed by the real §4 message protocol.

@@ -16,6 +16,8 @@ namespace anu::driver {
 
 /// Runs jobs[0..n) across up to `threads` workers; blocks until all finish.
 /// Each job must be independent (no shared mutable state between jobs).
+/// If a job throws, unstarted jobs are abandoned and the first exception is
+/// rethrown on the calling thread after all workers join.
 void run_parallel(const std::vector<std::function<void()>>& jobs,
                   std::size_t threads = 0);
 

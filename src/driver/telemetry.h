@@ -1,0 +1,37 @@
+// Per-run telemetry manifest (docs/observability.md).
+//
+// One JSON document per run capturing everything needed to reproduce and
+// re-analyze it offline: the full SimSpec (workload generator parameters
+// and seed, system, cluster, tuning knobs, membership script), the build's
+// git-describe, the complete ExperimentResult (aggregate and steady-state
+// stats, histogram buckets, per-server stats, share samples, movement
+// rounds), and the trace sink's emit/retain/drop counters. Lives in the
+// driver (not obs) because it serializes driver types; obs stays a leaf
+// library.
+#pragma once
+
+#include <string>
+
+#include "driver/config_file.h"
+#include "driver/experiment.h"
+#include "obs/json.h"
+#include "obs/trace_sink.h"
+
+namespace anu::driver {
+
+/// Current manifest schema version; bumped on any incompatible field change.
+inline constexpr int kManifestSchemaVersion = 1;
+
+/// Builds the manifest document. `trace` may be null (the "trace" section
+/// then reports zero events). Field-by-field schema: docs/observability.md.
+[[nodiscard]] obs::Json manifest_json(const SimSpec& spec,
+                                      const ExperimentResult& result,
+                                      const obs::TraceSink* trace = nullptr);
+
+/// Writes manifest_json(...) pretty-printed to `path`. Returns false on I/O
+/// failure.
+bool write_manifest_file(const std::string& path, const SimSpec& spec,
+                         const ExperimentResult& result,
+                         const obs::TraceSink* trace = nullptr);
+
+}  // namespace anu::driver

@@ -1,0 +1,11 @@
+#include "obs/build_info.h"
+
+#ifndef ANU_GIT_DESCRIBE
+#define ANU_GIT_DESCRIBE "unknown"
+#endif
+
+namespace anu::obs {
+
+const char* git_describe() { return ANU_GIT_DESCRIBE; }
+
+}  // namespace anu::obs

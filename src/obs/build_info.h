@@ -1,0 +1,12 @@
+// Build provenance for telemetry manifests.
+#pragma once
+
+namespace anu::obs {
+
+/// `git describe --always --dirty` of the source tree, captured at CMake
+/// configure time; "unknown" when the tree was built outside git. Stale by
+/// at most one reconfigure — the manifest consumer should treat it as
+/// provenance, not proof.
+[[nodiscard]] const char* git_describe();
+
+}  // namespace anu::obs

@@ -1,0 +1,170 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace anu::obs {
+
+namespace {
+
+/// Compact number formatting shared by both exporters (ints stay integral).
+std::string num(double v) { return Json(v).dump(); }
+
+/// The per-type semantic rendering of the generic slots. Single source of
+/// truth for JSONL field names; docs/observability.md documents the same
+/// mapping, and ObsDoc.EveryEventTypeDocumented ties the two together.
+Json event_fields(const TraceEvent& e) {
+  Json o = Json::object();
+  switch (e.type) {
+    case EventType::kRequestIssue:
+      o.set("file_set", e.a).set("server", e.b).set("demand", e.x);
+      break;
+    case EventType::kRequestComplete:
+      o.set("file_set", e.a).set("server", e.b).set("latency_s", e.x);
+      break;
+    case EventType::kTuningRound:
+      o.set("round", e.a)
+          .set("moves", e.b)
+          .set("moved_weight", e.x)
+          .set("cumulative_pct", e.y);
+      break;
+    case EventType::kRegionRetune:
+      o.set("server", e.a).set("share", e.x);
+      break;
+    case EventType::kFileSetMove:
+      o.set("file_set", e.a).set("from", e.b).set("to", e.c);
+      break;
+    case EventType::kServerFail:
+    case EventType::kServerRecover:
+      o.set("server", e.a);
+      break;
+    case EventType::kServerAdd:
+      o.set("server", e.a).set("speed", e.x);
+      break;
+    case EventType::kMessageSend:
+    case EventType::kMessageRecv:
+      o.set("from", e.a).set("to", e.b).set("kind", e.c).set("bytes", e.x);
+      break;
+    case EventType::kDelegateRound:
+      o.set("reporting", e.a)
+          .set("completions", e.b)
+          .set("system_avg_latency_s", e.x);
+      break;
+    case EventType::kMapApply:
+      o.set("node", e.a).set("version", e.b).set("sheds", e.c);
+      break;
+    case EventType::kDelegateElected:
+      o.set("server", e.a).set("previous", e.b);
+      break;
+  }
+  return o;
+}
+
+/// Chrome track ("tid") of an event: servers on tracks 1..k, the control
+/// plane on track 0.
+int chrome_tid(const TraceEvent& e) {
+  switch (e.type) {
+    case EventType::kRequestIssue:
+    case EventType::kRequestComplete:
+      return static_cast<int>(e.b) + 1;
+    case EventType::kRegionRetune:
+    case EventType::kServerFail:
+    case EventType::kServerRecover:
+    case EventType::kServerAdd:
+      return static_cast<int>(e.a) + 1;
+    case EventType::kMessageSend:
+      return static_cast<int>(e.a) + 1;
+    case EventType::kMessageRecv:
+      return static_cast<int>(e.b) + 1;
+    case EventType::kTuningRound:
+    case EventType::kFileSetMove:
+    case EventType::kDelegateRound:
+    case EventType::kMapApply:
+    case EventType::kDelegateElected:
+      return 0;
+  }
+  return 0;
+}
+
+void write_chrome_event(std::ostream& os, const TraceEvent& e) {
+  const double ts_us = e.time * 1e6;
+  const int tid = chrome_tid(e);
+  const std::string args = event_fields(e).dump();
+  if (e.type == EventType::kRequestComplete) {
+    // Duration event spanning the request's time in system: issue-to-finish
+    // on the serving server's track.
+    const double dur_us = e.x * 1e6;
+    os << "{\"name\":\"fs" << e.a << "\",\"cat\":\"request\",\"ph\":\"X\""
+       << ",\"ts\":" << num(ts_us - dur_us) << ",\"dur\":" << num(dur_us)
+       << ",\"pid\":1,\"tid\":" << tid << ",\"args\":" << args << "}";
+    return;
+  }
+  if (e.type == EventType::kRegionRetune) {
+    // Counter series: one track per server share.
+    os << "{\"name\":\"share s" << e.a << "\",\"ph\":\"C\",\"ts\":"
+       << num(ts_us) << ",\"pid\":1,\"args\":{\"share\":" << num(e.x) << "}}";
+    return;
+  }
+  os << "{\"name\":\"" << event_type_name(e.type)
+     << "\",\"cat\":\"anu\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << num(ts_us)
+     << ",\"pid\":1,\"tid\":" << tid << ",\"args\":" << args << "}";
+}
+
+}  // namespace
+
+void write_jsonl(const TraceSink& sink, std::ostream& os) {
+  sink.for_each([&](const TraceEvent& e) {
+    Json o = Json::object();
+    o.set("t", e.time).set("type", event_type_name(e.type));
+    // Named local: binding the range-for directly to the temporary's
+    // object would dangle (no lifetime extension through as_object()).
+    const Json fields = event_fields(e);
+    for (const auto& [key, value] : fields.as_object()) {
+      o.set(key, value);
+    }
+    o.write(os);
+    os << '\n';
+  });
+}
+
+void write_chrome_trace(const TraceSink& sink, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Track-name metadata: the control plane plus every server track seen.
+  std::set<int> tids;
+  sink.for_each([&](const TraceEvent& e) { tids.insert(chrome_tid(e)); });
+  for (const int tid : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\""
+       << (tid == 0 ? std::string("control plane")
+                    : "server " + std::to_string(tid - 1))
+       << "\"}}";
+  }
+  sink.for_each([&](const TraceEvent& e) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+    write_chrome_event(os, e);
+  });
+  os << "\n]}\n";
+}
+
+bool write_trace_file(const TraceSink& sink, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    write_jsonl(sink, f);
+  } else {
+    write_chrome_trace(sink, f);
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace anu::obs

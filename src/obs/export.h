@@ -1,0 +1,33 @@
+// Trace exporters: JSONL (one event object per line, semantic field names)
+// and Chrome/Perfetto `trace_event` JSON, loadable directly in
+// ui.perfetto.dev or chrome://tracing. Field-by-field schemas are in
+// docs/observability.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace_sink.h"
+
+namespace anu::obs {
+
+/// One JSON object per line, oldest event first:
+///   {"t":840.25,"type":"file_set_move","file_set":7,"from":0,"to":3}
+/// Generic slots are rendered under their per-type semantic names; unused
+/// slots are omitted.
+void write_jsonl(const TraceSink& sink, std::ostream& os);
+
+/// Chrome trace_event format (the JSON object form, so Perfetto's and
+/// chrome://tracing's stricter parsers both accept it). Simulated seconds
+/// become microseconds. Request completions render as duration ("X")
+/// events on their server's track, shares as counter ("C") series, and
+/// everything else as instant ("i") events; track names are emitted as
+/// metadata.
+void write_chrome_trace(const TraceSink& sink, std::ostream& os);
+
+/// Writes the file `path`, picking the format from the extension:
+/// ".jsonl" -> JSONL, anything else -> Chrome trace. Returns false when the
+/// file cannot be opened.
+bool write_trace_file(const TraceSink& sink, const std::string& path);
+
+}  // namespace anu::obs

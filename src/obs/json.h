@@ -1,0 +1,99 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// The telemetry manifest (docs/observability.md) is a JSON artifact, and
+// the repository takes no third-party dependencies, so this is a small
+// self-contained implementation covering exactly what telemetry needs:
+// the six JSON kinds, compact + pretty serialization, and a strict
+// recursive-descent parser (UTF-8 passed through verbatim; \uXXXX escapes
+// accepted and re-emitted for non-ASCII). Objects preserve insertion order
+// so emitted documents are deterministic and diffable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace anu::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; lookup is linear (telemetry objects are small).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  /// Any non-bool arithmetic type (one template beats an overload per
+  /// integer width — uint32_t etc. would otherwise be ambiguous).
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T> &&
+                                          !std::is_same_v<T, bool>,
+                                      int> = 0>
+  Json(T n) : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; checked (ANU_REQUIRE) on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object field by key; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// `find` across a path of keys, e.g. at("result", "steady_state").
+  template <class... Keys>
+  [[nodiscard]] const Json* at(std::string_view key, Keys... rest) const {
+    const Json* child = find(key);
+    if constexpr (sizeof...(rest) == 0) {
+      return child;
+    } else {
+      return child ? child->at(rest...) : nullptr;
+    }
+  }
+
+  /// Appends a field to an object / element to an array (checked).
+  Json& set(std::string key, Json value);
+  Json& push_back(Json value);
+
+  /// Compact single-line serialization.
+  void write(std::ostream& os) const;
+  /// Two-space-indented serialization (the manifest on disk, for diffing).
+  void write_pretty(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of one JSON document (trailing garbage is an error).
+  /// Returns nullopt and fills `error` (message + byte offset) on failure.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Writes `s` as a JSON string literal (quotes + escapes) to `os`.
+void write_json_string(std::ostream& os, std::string_view s);
+
+}  // namespace anu::obs

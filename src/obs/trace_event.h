@@ -1,0 +1,68 @@
+// Typed trace events — the vocabulary of the run-telemetry subsystem.
+//
+// Every event is a fixed-size POD stamped with a simulation timestamp, so
+// the recording fast path (obs::TraceSink) never allocates. Events carry
+// three generic integer slots (a, b, c) and two double slots (x, y); the
+// per-type meaning of each slot is defined here, rendered with semantic
+// field names by the exporters (obs/export.h), and documented — one table
+// per event type — in docs/observability.md. A test
+// (ObsDoc.EveryEventTypeDocumented) fails if an event type is added without
+// a matching documentation entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace anu::obs {
+
+/// Every kind of event the instrumented layers emit. Slot meanings:
+///
+///   kRequestIssue      a=file_set  b=server                x=demand
+///   kRequestComplete   a=file_set  b=server                x=latency_s
+///   kTuningRound       a=round     b=moves                 x=moved_weight  y=cumulative_pct
+///   kRegionRetune      a=server                            x=share
+///   kFileSetMove       a=file_set  b=from      c=to
+///   kServerFail        a=server
+///   kServerRecover     a=server
+///   kServerAdd         a=server                            x=speed
+///   kMessageSend       a=from      b=to        c=kind      x=bytes
+///   kMessageRecv       a=from      b=to        c=kind      x=bytes
+///   kDelegateRound     a=reporting b=completions           x=system_avg
+///   kMapApply          a=node      b=version   c=sheds
+///   kDelegateElected   a=server    b=previous
+enum class EventType : std::uint8_t {
+  kRequestIssue = 0,
+  kRequestComplete,
+  kTuningRound,
+  kRegionRetune,
+  kFileSetMove,
+  kServerFail,
+  kServerRecover,
+  kServerAdd,
+  kMessageSend,
+  kMessageRecv,
+  kDelegateRound,
+  kMapApply,
+  kDelegateElected,
+};
+
+inline constexpr std::size_t kEventTypeCount = 13;
+
+/// Stable wire name of an event type (what the exporters and the schema
+/// reference in docs/observability.md use).
+[[nodiscard]] const char* event_type_name(EventType type);
+
+/// One recorded event. 48 bytes; trivially copyable.
+struct TraceEvent {
+  SimTime time = 0.0;  // simulation seconds
+  EventType type = EventType::kRequestIssue;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+}  // namespace anu::obs

@@ -1,0 +1,57 @@
+#include "obs/trace_sink.h"
+
+#include "common/assert.h"
+
+namespace anu::obs {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kRequestIssue:
+      return "request_issue";
+    case EventType::kRequestComplete:
+      return "request_complete";
+    case EventType::kTuningRound:
+      return "tuning_round";
+    case EventType::kRegionRetune:
+      return "region_retune";
+    case EventType::kFileSetMove:
+      return "file_set_move";
+    case EventType::kServerFail:
+      return "server_fail";
+    case EventType::kServerRecover:
+      return "server_recover";
+    case EventType::kServerAdd:
+      return "server_add";
+    case EventType::kMessageSend:
+      return "message_send";
+    case EventType::kMessageRecv:
+      return "message_recv";
+    case EventType::kDelegateRound:
+      return "delegate_round";
+    case EventType::kMapApply:
+      return "map_apply";
+    case EventType::kDelegateElected:
+      return "delegate_elected";
+  }
+  ANU_ENSURE(false && "unknown event type");
+  return "unknown";
+}
+
+TraceSink::TraceSink(std::size_t capacity) : ring_(capacity) {
+  ANU_REQUIRE(capacity > 0);
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for_each([&](const TraceEvent& e) { out.push_back(e); });
+  return out;
+}
+
+void TraceSink::clear() {
+  head_ = 0;
+  size_ = 0;
+  emitted_ = 0;
+}
+
+}  // namespace anu::obs

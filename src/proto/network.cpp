@@ -3,8 +3,23 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "obs/trace_sink.h"
 
 namespace anu::proto {
+
+namespace {
+
+/// Trace payload shared by send and recv events: the message's variant
+/// index is its kind (documented in docs/observability.md).
+void trace_message(obs::TraceSink* trace, SimTime now, obs::EventType type,
+                   std::uint32_t from, std::uint32_t to,
+                   const Message& message, std::size_t bytes) {
+  trace->emit(now, type, from, to,
+              static_cast<std::uint32_t>(message.index()),
+              static_cast<double>(bytes));
+}
+
+}  // namespace
 
 Network::Network(sim::Simulation& simulation, const NetworkConfig& config,
                  std::size_t node_count)
@@ -43,10 +58,15 @@ void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
     ++dropped_;
     return;
   }
+  if (auto* t = sim_.trace()) {
+    trace_message(t, sim_.now(), obs::EventType::kMessageSend, from, to,
+                  message, size);
+  }
   const double delay =
       (config_.base_delay + config_.per_byte * static_cast<double>(size)) *
       (1.0 + config_.jitter * rng_.next_double());
-  sim_.schedule_after(delay, [this, from, to, msg = std::move(message)] {
+  sim_.schedule_after(delay, [this, from, to, size,
+                              msg = std::move(message)] {
     // Deliverability re-checked at delivery time: the receiver may have
     // failed while the message was in flight.
     if (!up_[to] || !handlers_[to]) {
@@ -54,6 +74,10 @@ void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
       return;
     }
     ++delivered_;
+    if (auto* t = sim_.trace()) {
+      trace_message(t, sim_.now(), obs::EventType::kMessageRecv, from, to,
+                    msg, size);
+    }
     handlers_[to](from, msg);
   });
 }

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/trace_sink.h"
 
 namespace anu::proto {
 
@@ -53,16 +54,34 @@ void ProtocolCluster::register_file_sets(std::vector<std::string> names) {
 void ProtocolCluster::fail_server(std::uint32_t server) {
   ANU_REQUIRE(server < nodes_.size());
   ANU_REQUIRE(nodes_[server].up);
+  const std::uint32_t before = delegate();
   nodes_[server].up = false;
   nodes_[server].grace_deadline.cancel();
   network_.set_node_up(server, false);
+  // The server_fail event itself is emitted by the data-plane Cluster
+  // sharing this Simulation; this layer records only the election outcome.
+  // Oracle-membership election is instantaneous; under heartbeats each
+  // node's believed delegate converges via its local detector instead.
+  if (auto* t = sim_.trace()) {
+    if (delegate() != before) {
+      t->emit(sim_.now(), obs::EventType::kDelegateElected, delegate(),
+              before);
+    }
+  }
 }
 
 void ProtocolCluster::recover_server(std::uint32_t server) {
   ANU_REQUIRE(server < nodes_.size());
   ANU_REQUIRE(!nodes_[server].up);
+  const std::uint32_t before = delegate();
   nodes_[server].up = true;
   network_.set_node_up(server, true);
+  if (auto* t = sim_.trace()) {
+    if (delegate() != before) {
+      t->emit(sim_.now(), obs::EventType::kDelegateElected, delegate(),
+              before);
+    }
+  }
   // State transfer on rejoin: any up peer sends its current replica so the
   // returning node (who may immediately be re-elected delegate) does not
   // act on an arbitrarily stale map. Version monotonicity keeps this safe
@@ -241,7 +260,8 @@ void ProtocolCluster::delegate_tune(std::uint32_t self) {
           balance::ServerReport{0.0, 0});
     }
   }
-  const auto decision = core::run_delegate_round(inputs, config_.tuner);
+  const auto decision =
+      core::run_delegate_round(inputs, config_.tuner, sim_.trace(), sim_.now());
   // Tune into a copy: node.map must stay the previous configuration until
   // apply_update runs, so the delegate computes its shed notices from the
   // same (previous, new) pair as every other node.
@@ -274,6 +294,7 @@ void ProtocolCluster::apply_update(std::uint32_t self,
   }
   // Shed protocol: file sets this node served under the previous map that
   // now belong elsewhere get announced to their acquirers (§4).
+  std::uint32_t sheds = 0;
   for (std::uint32_t fs = 0; fs < file_sets_.size(); ++fs) {
     const ServerId before = route_on(previous, file_sets_[fs]);
     if (before != ServerId(self)) continue;
@@ -284,7 +305,12 @@ void ProtocolCluster::apply_update(std::uint32_t self,
     notice.from = self;
     notice.to = after.value();
     network_.send(self, after.value(), notice);
+    ++sheds;
     if (on_shed) on_shed(fs, self, after.value());
+  }
+  if (auto* t = sim_.trace()) {
+    t->emit(sim_.now(), obs::EventType::kMapApply, self,
+            static_cast<std::uint32_t>(update.version), sheds);
   }
 }
 

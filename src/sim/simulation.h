@@ -16,6 +16,10 @@
 
 #include "common/types.h"
 
+namespace anu::obs {
+class TraceSink;
+}
+
 namespace anu::sim {
 
 class Simulation;
@@ -69,6 +73,15 @@ class Simulation {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Observability conduit: layers built on the simulation (cluster,
+  /// network, protocol) emit trace events through this sink when one is
+  /// attached. Null (the default) means tracing is disabled, and every
+  /// instrumented site's fast path is a single null-pointer branch:
+  ///   if (auto* t = sim.trace()) t->emit(...);
+  /// The kernel itself never emits — event dispatch stays untraced.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace() const { return trace_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -84,6 +97,7 @@ class Simulation {
   };
 
   SimTime now_ = 0.0;
+  obs::TraceSink* trace_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;

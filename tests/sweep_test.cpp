@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 namespace anu::driver {
 namespace {
@@ -44,6 +45,48 @@ TEST(Sweep, MoreThreadsThanJobs) {
   std::vector<std::function<void()>> jobs{[&] { ++counter; }};
   run_parallel(jobs, 16);
   EXPECT_EQ(counter.load(), 1);
+}
+
+// Regression: an exception escaping a worker thread used to reach the
+// thread boundary and call std::terminate. It must instead surface on the
+// calling thread, after every worker has joined.
+TEST(Sweep, ThrowingJobRethrowsOnCaller) {
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 32; ++i) {
+    jobs.push_back([i] {
+      if (i == 7) throw std::runtime_error("job 7 failed");
+    });
+  }
+  EXPECT_THROW(run_parallel(jobs, 4), std::runtime_error);
+}
+
+TEST(Sweep, ThrowingJobAbandonsUnstartedJobs) {
+  // One poisoned job among slow ones: jobs claimed after the failure is
+  // flagged must not run. With 2 workers and the first job throwing
+  // immediately, at most a handful of jobs start before the flag is seen.
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([] { throw std::logic_error("poison"); });
+  for (int i = 0; i < 1000; ++i) {
+    jobs.push_back([&] { ++ran; });
+  }
+  EXPECT_THROW(run_parallel(jobs, 2), std::logic_error);
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(Sweep, FirstExceptionWinsWhenSeveralThrow) {
+  // All jobs throw; exactly one exception must come back (and not crash).
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(run_parallel(jobs, 8), std::runtime_error);
+}
+
+TEST(Sweep, SingleThreadPathAlsoPropagates) {
+  std::vector<std::function<void()>> jobs{
+      [] { throw std::runtime_error("solo"); }};
+  EXPECT_THROW(run_parallel(jobs, 1), std::runtime_error);
 }
 
 }  // namespace

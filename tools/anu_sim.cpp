@@ -1,9 +1,17 @@
 // anu_sim — config-driven cluster load-management simulator.
 //
 // Usage:
-//   anu_sim <config-file>            # run the configured system
+//   anu_sim [options] <config-file>  # run the configured system
 //   anu_sim --compare <config-file>  # run all four systems, compare
 //   anu_sim --example                # print a commented example config
+//
+// Options:
+//   --trace-out <file>     write the event trace (.jsonl -> JSONL, else
+//                          Chrome trace_event, loadable in ui.perfetto.dev)
+//   --manifest-out <file>  write the per-run telemetry manifest (JSON)
+//
+// Both options override the matching `trace_out` / `manifest_out` config
+// keys. Schemas: docs/observability.md.
 //
 // The config format is documented in src/driver/config_file.h. The tool
 // replays the configured workload against the configured system and prints
@@ -12,10 +20,14 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 
 #include "common/table.h"
 #include "driver/config_file.h"
+#include "driver/telemetry.h"
 #include "metrics/consistency.h"
+#include "obs/export.h"
+#include "obs/trace_sink.h"
 
 using namespace anu;
 using namespace anu::driver;
@@ -36,20 +48,39 @@ tuning_interval_s 120
 fail 60 4
 recover 90 4
 # csv_out latency_series.csv
+# trace_out run.trace.json        # Chrome trace; .jsonl for line-JSON
+# manifest_out run.manifest.json  # per-run telemetry manifest
 )";
 
-int run(const char* path) {
+/// Command-line output overrides; empty = use the config keys.
+struct OutputOptions {
+  std::string trace_out;
+  std::string manifest_out;
+};
+
+int run(const char* path, const OutputOptions& options) {
   ConfigError error;
-  const auto spec = parse_sim_config_file(path, &error);
+  auto spec = parse_sim_config_file(path, &error);
   if (!spec) {
     std::fprintf(stderr, "%s:%zu: %s\n", path, error.line,
                  error.message.c_str());
     return 1;
   }
+  if (!options.trace_out.empty()) spec->trace_out = options.trace_out;
+  if (!options.manifest_out.empty()) spec->manifest_out = options.manifest_out;
   const auto workload = build_workload(*spec, &error);
   if (!workload) {
     std::fprintf(stderr, "%s: %s\n", path, error.message.c_str());
     return 1;
+  }
+
+  // The manifest wants the trace counters even when no trace file is
+  // written, but recording costs memory — only arm the sink when an
+  // artifact asked for it.
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!spec->trace_out.empty() || !spec->manifest_out.empty()) {
+    sink = std::make_unique<obs::TraceSink>();
+    spec->experiment.trace = sink.get();
   }
 
   auto balancer = make_balancer(
@@ -118,6 +149,26 @@ int run(const char* path) {
       return 1;
     }
   }
+
+  if (!spec->trace_out.empty()) {
+    if (obs::write_trace_file(*sink, spec->trace_out)) {
+      std::printf("wrote trace (%zu events, %zu dropped) to %s\n",
+                  sink->size(), sink->dropped(), spec->trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   spec->trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!spec->manifest_out.empty()) {
+    if (write_manifest_file(spec->manifest_out, *spec, result, sink.get())) {
+      std::printf("wrote manifest to %s\n", spec->manifest_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   spec->manifest_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -164,6 +215,18 @@ int compare(const char* path) {
 
 }  // namespace
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <config-file>\n"
+               "       %s --compare <config-file>\n"
+               "       %s --example\n"
+               "options:\n"
+               "  --trace-out <file>     write event trace (.jsonl or Chrome)\n"
+               "  --manifest-out <file>  write per-run telemetry manifest\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
 int main(int argc, char** argv) {
   if (argc == 2 && std::strcmp(argv[1], "--example") == 0) {
     std::fputs(kExample, stdout);
@@ -172,13 +235,22 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--compare") == 0) {
     return compare(argv[2]);
   }
-  if (argc != 2) {
-    std::fprintf(stderr,
-                 "usage: %s <config-file>\n"
-                 "       %s --compare <config-file>\n"
-                 "       %s --example\n",
-                 argv[0], argv[0], argv[0]);
-    return 2;
+  OutputOptions options;
+  const char* config = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      options.trace_out = argv[++i];
+    } else if (std::strcmp(arg, "--manifest-out") == 0 && i + 1 < argc) {
+      options.manifest_out = argv[++i];
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (!config) {
+      config = arg;
+    } else {
+      return usage(argv[0]);
+    }
   }
-  return run(argv[1]);
+  if (!config) return usage(argv[0]);
+  return run(config, options);
 }
