@@ -20,9 +20,22 @@ cmake -B build -G Ninja
 cmake --build build
 
 # Observability suite first (fast, and the schema/doc contract fails
-# loudly), then everything.
+# loudly), then the chaos suite (randomized fault scenarios must converge
+# and reconcile — docs/chaos.md), then everything.
 ctest --test-dir build -L obs --output-on-failure
+ctest --test-dir build -L chaos --output-on-failure
 ctest --test-dir build --output-on-failure
+
+# Sanitizer pass: the whole suite again under ASan+UBSan. Some toolchains
+# (or containers without the runtime libs) can't link it; skip with a
+# warning rather than failing the whole check.
+if cmake -B build-asan -G Ninja -DANU_SANITIZE=ON >/dev/null 2>&1 \
+   && cmake --build build-asan >/dev/null 2>&1; then
+  echo "=== ASan+UBSan test pass ==="
+  ctest --test-dir build-asan --output-on-failure
+else
+  echo "warning: ASan+UBSan build failed; skipping sanitizer pass" >&2
+fi
 
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then

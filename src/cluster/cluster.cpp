@@ -93,4 +93,20 @@ void Cluster::recover_server(ServerId id) {
   server(id).recover();
 }
 
+void Cluster::degrade_server(ServerId id, double factor) {
+  if (auto* t = sim_.trace()) {
+    t->emit(sim_.now(), obs::EventType::kServerDegrade, id.value(), 0, 0,
+            factor);
+  }
+  server(id).degrade(factor);
+}
+
+void Cluster::restore_server(ServerId id) {
+  server(id).restore();
+  if (auto* t = sim_.trace()) {
+    t->emit(sim_.now(), obs::EventType::kServerRestore, id.value(), 0, 0,
+            server(id).speed());
+  }
+}
+
 }  // namespace anu::cluster

@@ -62,6 +62,12 @@ class Cluster {
   void fail_server(ServerId id);
   void recover_server(ServerId id);
 
+  /// Gray failure: scales the server's service rate to `factor` times
+  /// nominal without taking it down — membership still sees it as up, so
+  /// only the tuner's latency feedback can route load away from it.
+  void degrade_server(ServerId id, double factor);
+  void restore_server(ServerId id);
+
   /// Fired on every request completion (for metrics) and on every request
   /// flushed by a failure (for re-dispatch).
   std::function<void(const Completion&)> on_complete;

@@ -16,6 +16,10 @@ const char* action_name(MembershipAction action) {
       return "add";
     case MembershipAction::kRemove:
       return "remove";
+    case MembershipAction::kDegrade:
+      return "degrade";
+    case MembershipAction::kRestore:
+      return "restore";
   }
   ANU_ENSURE(false && "unknown membership action");
   return "unknown";
@@ -53,6 +57,37 @@ FailureSchedule FailureSchedule::random_fail_recover(std::uint64_t seed,
                           rng.next_double() * (window - 2.0 * downtime);
     schedule.add({start, MembershipAction::kFail, victim, 0.0});
     schedule.add({start + downtime, MembershipAction::kRecover, victim, 0.0});
+  }
+  return schedule;
+}
+
+FailureSchedule FailureSchedule::random_degrade(std::uint64_t seed,
+                                                std::size_t server_count,
+                                                std::size_t rounds,
+                                                SimTime horizon,
+                                                SimTime duration,
+                                                double min_factor,
+                                                double max_factor) {
+  ANU_REQUIRE(server_count > 1);
+  ANU_REQUIRE(rounds > 0);
+  ANU_REQUIRE(min_factor > 0.0 && min_factor <= max_factor);
+  ANU_REQUIRE(max_factor <= 1.0);
+  const SimTime window = horizon / static_cast<double>(rounds);
+  ANU_REQUIRE(window > duration * 2.0);
+  Xoshiro256 rng(seed);
+  FailureSchedule schedule;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto victim =
+        ServerId(static_cast<std::uint32_t>(rng.next_below(server_count)));
+    const SimTime start = window * static_cast<double>(r) +
+                          rng.next_double() * (window - 2.0 * duration);
+    const double factor =
+        min_factor + rng.next_double() * (max_factor - min_factor);
+    MembershipEvent degrade{start, MembershipAction::kDegrade, victim, 0.0};
+    degrade.factor = factor;
+    schedule.add(degrade);
+    schedule.add(
+        {start + duration, MembershipAction::kRestore, victim, 0.0});
   }
   return schedule;
 }

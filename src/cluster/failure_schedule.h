@@ -13,20 +13,32 @@
 
 namespace anu::cluster {
 
-enum class MembershipAction { kFail, kRecover, kAdd, kRemove };
+enum class MembershipAction {
+  kFail,
+  kRecover,
+  kAdd,
+  kRemove,
+  /// Gray failure: the server stays up but serves at `factor` times its
+  /// nominal speed until a kRestore (or a fail/recover cycle) heals it.
+  kDegrade,
+  kRestore,
+};
 
 /// Stable lower-case name of a membership action ("fail", "recover",
-/// "add", "remove") — what the telemetry manifest and the config format
-/// both use, so a manifest's membership script round-trips into a config.
+/// "add", "remove", "degrade", "restore") — what the telemetry manifest and
+/// the config format both use, so a manifest's membership script
+/// round-trips into a config.
 [[nodiscard]] const char* action_name(MembershipAction action);
 
 struct MembershipEvent {
   SimTime when = 0.0;
   MembershipAction action = MembershipAction::kFail;
-  /// Target server for fail/recover/remove; ignored for add.
+  /// Target server for fail/recover/remove/degrade/restore; ignored for add.
   ServerId server;
   /// Speed of the server being added; ignored otherwise.
   double speed = 1.0;
+  /// Service-rate multiplier in (0, 1] for degrade; ignored otherwise.
+  double factor = 1.0;
 };
 
 /// A time-ordered script of membership changes.
@@ -50,6 +62,16 @@ class FailureSchedule {
                                              std::size_t server_count,
                                              std::size_t rounds,
                                              SimTime horizon, SimTime downtime);
+
+  /// Generates a random degrade-then-restore schedule, shaped like
+  /// random_fail_recover: each round degrades one random server to a
+  /// random factor in [min_factor, max_factor] for `duration`, then
+  /// restores it. At most one server is degraded at a time.
+  static FailureSchedule random_degrade(std::uint64_t seed,
+                                        std::size_t server_count,
+                                        std::size_t rounds, SimTime horizon,
+                                        SimTime duration, double min_factor,
+                                        double max_factor);
 
  private:
   std::vector<MembershipEvent> events_;

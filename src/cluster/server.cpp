@@ -11,6 +11,7 @@ Server::Server(sim::Simulation& simulation, ServerId id, double speed,
                const CacheConfig& cache)
     : id_(id),
       resource_(simulation, speed, "server" + std::to_string(id.value())),
+      nominal_speed_(speed),
       cache_(cache) {
   ANU_REQUIRE(cache_.cold_penalty_factor >= 1.0);
   ANU_REQUIRE(!cache_.enabled || cache_.warmup_requests > 0);
@@ -77,6 +78,23 @@ void Server::fail() {
   cache_hits_.clear();  // a restarted server comes back cold
 }
 
-void Server::recover() { resource_.recover(); }
+void Server::recover() {
+  resource_.recover();
+  // Any gray degradation active at failure time does not survive the
+  // restart: a recovered server runs at nominal speed.
+  restore();
+}
+
+void Server::degrade(double factor) {
+  ANU_REQUIRE(factor > 0.0 && factor <= 1.0);
+  ANU_REQUIRE(is_up());
+  degraded_ = true;
+  resource_.set_speed(nominal_speed_ * factor);
+}
+
+void Server::restore() {
+  degraded_ = false;
+  resource_.set_speed(nominal_speed_);
+}
 
 }  // namespace anu::cluster

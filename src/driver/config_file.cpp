@@ -153,6 +153,36 @@ std::optional<SimSpec> parse_sim_config(std::istream& is, ConfigError* error) {
                                     ? cluster::MembershipAction::kRemove
                                     : cluster::MembershipAction::kFail;
       spec.experiment.failures.add({when, action, ServerId(server), 0.0});
+    } else if (key == "degrade") {
+      double minute, factor;
+      std::uint32_t server;
+      if (!want(minute, "minute")) return std::nullopt;
+      if (!want(server, "server id")) return std::nullopt;
+      if (!want(factor, "factor")) return std::nullopt;
+      if (factor <= 0.0 || factor > 1.0) {
+        return fail(error, lineno, "degrade factor must be in (0, 1]");
+      }
+      const SimTime when = minute * 60.0;
+      if (when < last_event) {
+        return fail(error, lineno, "membership events out of time order");
+      }
+      last_event = when;
+      cluster::MembershipEvent event{
+          when, cluster::MembershipAction::kDegrade, ServerId(server), 0.0};
+      event.factor = factor;
+      spec.experiment.failures.add(event);
+    } else if (key == "restore") {
+      double minute;
+      std::uint32_t server;
+      if (!want(minute, "minute")) return std::nullopt;
+      if (!want(server, "server id")) return std::nullopt;
+      const SimTime when = minute * 60.0;
+      if (when < last_event) {
+        return fail(error, lineno, "membership events out of time order");
+      }
+      last_event = when;
+      spec.experiment.failures.add(
+          {when, cluster::MembershipAction::kRestore, ServerId(server), 0.0});
     } else if (key == "add") {
       double minute, speed;
       if (!want(minute, "minute")) return std::nullopt;

@@ -21,6 +21,8 @@
 //   recover 50 1
 //   add 80 9.0                    # minute, speed
 //   remove 120 0
+//   degrade 140 2 0.25            # minute, server, speed factor (gray)
+//   restore 160 2                 # minute, server
 //   trace_file path.trace         # workload trace: replay this file
 //   csv_out series.csv            # optional latency-series CSV
 //   trace_out run.json            # event trace (.jsonl -> JSONL, else

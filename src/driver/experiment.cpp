@@ -256,6 +256,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
           apply_moves(moves, /*immediate=*/true);
           break;
         }
+        case cluster::MembershipAction::kDegrade:
+          // Gray failure: membership is untouched — only the latency the
+          // server reports can tell the tuner something is wrong.
+          cluster.degrade_server(event.server, event.factor);
+          break;
+        case cluster::MembershipAction::kRestore:
+          cluster.restore_server(event.server);
+          break;
       }
     });
   }

@@ -96,6 +96,25 @@ struct ExperimentResult {
   std::uint64_t requests_completed = 0;
   std::uint64_t events_executed = 0;
   std::uint64_t tuning_rounds = 0;
+
+  /// Control-plane message accounting — populated by protocol experiments,
+  /// all-zero under the instantaneous balancer drivers. The counters
+  /// reconcile (docs/chaos.md): delivered + dropped + in-flight-at-horizon
+  /// = sent, and acks_received <= reliable_sent + retransmits.
+  struct ControlPlaneStats {
+    std::uint64_t messages_sent = 0;       // transmissions put on the wire
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t drops_endpoint_down = 0;  // sender/receiver was down
+    std::uint64_t drops_injected = 0;       // chaos loss + partitions
+    std::uint64_t duplicates_injected = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t reliable_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t retries_abandoned = 0;
+  };
+  ControlPlaneStats control_plane;
 };
 
 /// Runs one experiment. The balancer is owned by the caller so callers can

@@ -19,6 +19,7 @@ ExperimentResult run_protocol_experiment(
   sim.set_trace(trace);
   cluster::Cluster cluster(sim, config.cluster);
   proto::Network network(sim, config.network, servers);
+  if (config.faults != nullptr) network.set_fault_plan(config.faults);
   metrics::LatencyTracker latency(servers);
 
   std::vector<double> weights;
@@ -82,15 +83,20 @@ ExperimentResult run_protocol_experiment(
     return 0;
   };
   auto dispatch = [&](FileSetId fs, double demand) {
+    const std::uint32_t contact_node = next_contact();
     const ServerId target =
-        protocol.route_from(next_contact(), workload.file_set(fs).name);
+        protocol.route_from(contact_node, workload.file_set(fs).name);
     // A stale replica can route to a down server for a short window after
     // a failure; the contact node then falls back to its delegate's view —
     // modelled here by routing from the delegate replica.
-    const ServerId safe = cluster.is_up(target)
-                              ? target
-                              : protocol.route_from(protocol.delegate(),
-                                                    workload.file_set(fs).name);
+    ServerId safe = cluster.is_up(target)
+                        ? target
+                        : protocol.route_from(protocol.delegate(),
+                                              workload.file_set(fs).name);
+    // The delegate's replica is just as stale until the next round reclaims
+    // the dead server's region; the live contact then serves the request
+    // itself (any server can — it is simply not cache-preferred).
+    if (!cluster.is_up(safe)) safe = ServerId(contact_node);
     if (trace) {
       trace->emit(sim.now(), obs::EventType::kRequestIssue, fs.value(),
                   safe.value(), 0, demand);
@@ -132,11 +138,21 @@ ExperimentResult run_protocol_experiment(
           // through the balancer-level driver (run_experiment).
           ANU_ENSURE(false && "kAdd unsupported in the protocol experiment");
           break;
+        case cluster::MembershipAction::kDegrade:
+          // Gray failure: the node keeps heartbeating and reporting; only
+          // its worsening latency reports steer the tuner away from it.
+          cluster.degrade_server(event.server, event.factor);
+          break;
+        case cluster::MembershipAction::kRestore:
+          cluster.restore_server(event.server);
+          break;
       }
     });
   }
 
   sim.run_until(horizon);
+
+  if (config.on_finish) config.on_finish(protocol, network);
 
   ExperimentResult result;
   result.server_count = servers;
@@ -165,6 +181,18 @@ ExperimentResult run_protocol_experiment(
   result.requests_completed = latency.total_served();
   result.events_executed = sim.events_executed();
   result.tuning_rounds = protocol.updates_published();
+  result.control_plane.messages_sent = network.messages_sent();
+  result.control_plane.messages_delivered = network.messages_delivered();
+  result.control_plane.drops_endpoint_down = network.drops_endpoint_down();
+  result.control_plane.drops_injected = network.drops_injected();
+  result.control_plane.duplicates_injected = network.duplicates_injected();
+  result.control_plane.bytes_sent = network.bytes_sent();
+  result.control_plane.reliable_sent = protocol.reliable_sent();
+  result.control_plane.retransmits = protocol.retransmits();
+  result.control_plane.acks_received = protocol.acks_received();
+  result.control_plane.duplicates_suppressed =
+      protocol.duplicates_suppressed();
+  result.control_plane.retries_abandoned = protocol.retries_abandoned();
   return result;
 }
 

@@ -19,9 +19,12 @@
 // the real protocol's behaviour.
 #pragma once
 
+#include <functional>
+
 #include "cluster/cluster.h"
 #include "cluster/failure_schedule.h"
 #include "driver/experiment.h"
+#include "faults/fault_plan.h"
 #include "proto/protocol.h"
 #include "workload/workload.h"
 
@@ -34,6 +37,15 @@ struct ProtocolExperimentConfig {
   SimTime horizon = 0.0;          // 0 = workload span
   SimTime series_window = 300.0;
   cluster::FailureSchedule failures;
+  /// Adversarial network faults (docs/chaos.md) applied to every protocol
+  /// message. Null = clean network. Caller-owned; must outlive the run —
+  /// the caller can read the plan's injection counters afterwards.
+  faults::FaultPlan* faults = nullptr;
+  /// Invoked after the horizon with the protocol and network still live,
+  /// before teardown — the chaos harness checks convergence invariants
+  /// (replica agreement, routing coverage, counter reconciliation) here.
+  std::function<void(const proto::ProtocolCluster&, const proto::Network&)>
+      on_finish;
   /// Structured event tracing (docs/observability.md); this path also
   /// emits the protocol's message_send/recv, delegate_round, map_apply
   /// and delegate_elected events. Null disables; caller-owned.

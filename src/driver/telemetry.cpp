@@ -117,6 +117,9 @@ Json config_json(const SimSpec& spec) {
       m.set("speed", ev.speed);
     } else {
       m.set("server", ev.server.value());
+      if (ev.action == cluster::MembershipAction::kDegrade) {
+        m.set("factor", ev.factor);
+      }
     }
     membership.push_back(std::move(m));
   }
@@ -174,6 +177,23 @@ Json result_json(const ExperimentResult& r) {
       .set("percent_workload_moved", r.percent_workload_moved)
       .set("percent_unique_workload_moved", r.percent_unique_workload_moved);
   o.set("movement", std::move(movement));
+
+  // Message/retry accounting (protocol experiments; all-zero otherwise).
+  // docs/chaos.md documents the reconciliation identities over this block.
+  const ExperimentResult::ControlPlaneStats& cp = r.control_plane;
+  Json control = Json::object();
+  control.set("messages_sent", cp.messages_sent)
+      .set("messages_delivered", cp.messages_delivered)
+      .set("drops_endpoint_down", cp.drops_endpoint_down)
+      .set("drops_injected", cp.drops_injected)
+      .set("duplicates_injected", cp.duplicates_injected)
+      .set("bytes_sent", cp.bytes_sent)
+      .set("reliable_sent", cp.reliable_sent)
+      .set("retransmits", cp.retransmits)
+      .set("acks_received", cp.acks_received)
+      .set("duplicates_suppressed", cp.duplicates_suppressed)
+      .set("retries_abandoned", cp.retries_abandoned);
+  o.set("control_plane", std::move(control));
   return o;
 }
 

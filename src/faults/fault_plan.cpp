@@ -1,0 +1,95 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace anu::faults {
+
+namespace {
+
+bool contains(const std::vector<std::uint32_t>& group, std::uint32_t node) {
+  return std::find(group.begin(), group.end(), node) != group.end();
+}
+
+bool window_cuts(const PartitionWindow& w, std::uint32_t a, std::uint32_t b,
+                 SimTime now) {
+  if (now < w.start || now >= w.end) return false;
+  return (contains(w.group_a, a) && contains(w.group_b, b)) ||
+         (contains(w.group_a, b) && contains(w.group_b, a));
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultPlanConfig& config)
+    : config_(config), rng_(config.seed) {
+  ANU_REQUIRE(config.loss >= 0.0 && config.loss < 1.0);
+  ANU_REQUIRE(config.duplicate >= 0.0 && config.duplicate < 1.0);
+  ANU_REQUIRE(config.delay_spike >= 0.0 && config.delay_spike < 1.0);
+  ANU_REQUIRE(config.reorder >= 0.0 && config.reorder < 1.0);
+  ANU_REQUIRE(config.spike_max >= 0.0);
+  ANU_REQUIRE(config.reorder_max >= 0.0);
+  ANU_REQUIRE(config.end >= config.start);
+  for (const PartitionWindow& w : config.partitions) {
+    ANU_REQUIRE(w.end >= w.start);
+  }
+}
+
+std::uint64_t FaultPlan::link_key(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+bool FaultPlan::partitioned(std::uint32_t a, std::uint32_t b,
+                            SimTime now) const {
+  if (cut_links_.count(link_key(a, b)) != 0) return true;
+  for (const PartitionWindow& w : config_.partitions) {
+    if (window_cuts(w, a, b, now)) return true;
+  }
+  return false;
+}
+
+void FaultPlan::partition(std::uint32_t a, std::uint32_t b) {
+  ANU_REQUIRE(a != b);
+  cut_links_.insert(link_key(a, b));
+}
+
+void FaultPlan::heal(std::uint32_t a, std::uint32_t b) {
+  cut_links_.erase(link_key(a, b));
+}
+
+void FaultPlan::heal() { cut_links_.clear(); }
+
+FaultPlan::Decision FaultPlan::decide(std::uint32_t from, std::uint32_t to,
+                                      SimTime now) {
+  Decision d;
+  if (partitioned(from, to, now)) {
+    d.drop = true;
+    d.partitioned = true;
+    ++partition_drops_;
+    return d;
+  }
+  if (!active(now)) return d;
+  if (config_.loss > 0.0 && rng_.next_double() < config_.loss) {
+    d.drop = true;
+    ++losses_;
+    return d;
+  }
+  if (config_.duplicate > 0.0 && rng_.next_double() < config_.duplicate) {
+    d.copies = 2;
+    ++duplications_;
+  }
+  if (config_.delay_spike > 0.0 &&
+      rng_.next_double() < config_.delay_spike) {
+    d.extra_delay += rng_.next_double() * config_.spike_max;
+    ++delays_;
+  }
+  if (config_.reorder > 0.0 && rng_.next_double() < config_.reorder) {
+    d.extra_delay += rng_.next_double() * config_.reorder_max;
+    ++delays_;
+  }
+  return d;
+}
+
+}  // namespace anu::faults

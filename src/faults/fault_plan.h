@@ -1,0 +1,112 @@
+// Adversarial fault injection for the control-plane network.
+//
+// The paper's §4 fault model is the friendliest possible one: messages to a
+// cleanly-down node vanish, everything else arrives. Real heterogeneous
+// clusters are dominated by *partial* failures — lossy links, duplicated
+// and reordered packets, latency spikes, partitions that heal. A FaultPlan
+// scripts exactly those: the Network consults it once per message and the
+// plan answers "drop it / duplicate it / delay it", driven by a dedicated
+// seeded RNG stream so a chaos run is bit-reproducible and the fault
+// stream never perturbs the workload or network-jitter streams.
+//
+// Probabilistic faults are confined to an active window [start, end); a
+// chaos run schedules the window to close well before the horizon so the
+// protocol's post-fault convergence can be asserted. Partitions are either
+// scripted windows (two node groups whose cross-traffic drops while the
+// window is open) or imperative `partition(a, b)` / `heal()` edits, which
+// tests use directly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace anu::faults {
+
+/// A scripted link-level partition: while `start <= now < end`, messages
+/// between a node in `group_a` and a node in `group_b` are dropped (both
+/// directions). Nodes in neither group are unaffected.
+struct PartitionWindow {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  std::vector<std::uint32_t> group_a;
+  std::vector<std::uint32_t> group_b;
+};
+
+struct FaultPlanConfig {
+  /// Per-message probabilities in [0, 1).
+  double loss = 0.0;       // message transmitted but lost in transit
+  double duplicate = 0.0;  // message delivered twice (independent delays)
+  double delay_spike = 0.0;  // message held an extra uniform [0, spike_max)
+  double spike_max = 0.05;   // delay-spike magnitude bound, seconds
+  /// Bounded reordering: an extra uniform [0, reorder_max) hold applied
+  /// with probability `reorder` — small enough to shuffle adjacent
+  /// messages, bounded so no message is held back indefinitely.
+  double reorder = 0.0;
+  double reorder_max = 0.01;
+  /// Active window for the probabilistic faults above. Scripted partition
+  /// windows carry their own spans and ignore this.
+  SimTime start = 0.0;
+  SimTime end = std::numeric_limits<SimTime>::infinity();
+  /// Dedicated fault-stream seed — isolated from workload and network RNGs.
+  std::uint64_t seed = 0x6368616f73ULL;  // "chaos"
+  std::vector<PartitionWindow> partitions;
+};
+
+class FaultPlan {
+ public:
+  /// What the network should do with one message.
+  struct Decision {
+    bool drop = false;
+    bool partitioned = false;   // drop was a partition cut, not random loss
+    std::uint32_t copies = 1;   // 2 when the message is duplicated
+    double extra_delay = 0.0;   // seconds added on top of the modelled delay
+  };
+
+  explicit FaultPlan(const FaultPlanConfig& config);
+
+  /// Rolls the fault dice for one message. Mutates the fault RNG stream;
+  /// call exactly once per send attempt.
+  Decision decide(std::uint32_t from, std::uint32_t to, SimTime now);
+
+  /// Is the (a, b) link currently cut (scripted window or manual edit)?
+  [[nodiscard]] bool partitioned(std::uint32_t a, std::uint32_t b,
+                                 SimTime now) const;
+
+  /// Imperative partition matrix (symmetric), for tests and scenarios that
+  /// are easier to drive than to script.
+  void partition(std::uint32_t a, std::uint32_t b);
+  void heal(std::uint32_t a, std::uint32_t b);
+  /// Clears every manual cut (scripted windows still apply).
+  void heal();
+
+  [[nodiscard]] const FaultPlanConfig& config() const { return config_; }
+
+  /// Injection counters, for telemetry reconciliation.
+  [[nodiscard]] std::uint64_t injected_losses() const { return losses_; }
+  [[nodiscard]] std::uint64_t partition_drops() const {
+    return partition_drops_;
+  }
+  [[nodiscard]] std::uint64_t duplications() const { return duplications_; }
+  [[nodiscard]] std::uint64_t delay_injections() const { return delays_; }
+
+ private:
+  [[nodiscard]] bool active(SimTime now) const {
+    return now >= config_.start && now < config_.end;
+  }
+  static std::uint64_t link_key(std::uint32_t a, std::uint32_t b);
+
+  FaultPlanConfig config_;
+  Xoshiro256 rng_;
+  std::unordered_set<std::uint64_t> cut_links_;
+  std::uint64_t losses_ = 0;
+  std::uint64_t partition_drops_ = 0;
+  std::uint64_t duplications_ = 0;
+  std::uint64_t delays_ = 0;
+};
+
+}  // namespace anu::faults

@@ -61,6 +61,23 @@ Json event_fields(const TraceEvent& e) {
     case EventType::kDelegateElected:
       o.set("server", e.a).set("previous", e.b);
       break;
+    case EventType::kServerDegrade:
+      o.set("server", e.a).set("factor", e.x);
+      break;
+    case EventType::kServerRestore:
+      o.set("server", e.a).set("speed", e.x);
+      break;
+    case EventType::kFaultInject: {
+      static constexpr const char* kCauses[] = {"loss", "partition",
+                                                "duplicate", "delay"};
+      o.set("from", e.a).set("to", e.b);
+      o.set("cause", e.c < 4 ? kCauses[e.c] : "unknown");
+      o.set("value", e.x);
+      break;
+    }
+    case EventType::kRetransmit:
+      o.set("from", e.a).set("to", e.b).set("attempt", e.c).set("rto_s", e.x);
+      break;
   }
   return o;
 }
@@ -76,8 +93,11 @@ int chrome_tid(const TraceEvent& e) {
     case EventType::kServerFail:
     case EventType::kServerRecover:
     case EventType::kServerAdd:
+    case EventType::kServerDegrade:
+    case EventType::kServerRestore:
       return static_cast<int>(e.a) + 1;
     case EventType::kMessageSend:
+    case EventType::kRetransmit:
       return static_cast<int>(e.a) + 1;
     case EventType::kMessageRecv:
       return static_cast<int>(e.b) + 1;
@@ -86,6 +106,7 @@ int chrome_tid(const TraceEvent& e) {
     case EventType::kDelegateRound:
     case EventType::kMapApply:
     case EventType::kDelegateElected:
+    case EventType::kFaultInject:
       return 0;
   }
   return 0;

@@ -32,6 +32,10 @@ namespace anu::obs {
 ///   kDelegateRound     a=reporting b=completions           x=system_avg
 ///   kMapApply          a=node      b=version   c=sheds
 ///   kDelegateElected   a=server    b=previous
+///   kServerDegrade     a=server                            x=factor
+///   kServerRestore     a=server                            x=speed
+///   kFaultInject       a=from      b=to        c=cause     x=value
+///   kRetransmit        a=from      b=to        c=attempt   x=rto_s
 enum class EventType : std::uint8_t {
   kRequestIssue = 0,
   kRequestComplete,
@@ -46,9 +50,21 @@ enum class EventType : std::uint8_t {
   kDelegateRound,
   kMapApply,
   kDelegateElected,
+  kServerDegrade,
+  kServerRestore,
+  kFaultInject,
+  kRetransmit,
 };
 
-inline constexpr std::size_t kEventTypeCount = 13;
+inline constexpr std::size_t kEventTypeCount = 17;
+
+/// Cause slot (c) of a kFaultInject event.
+enum class FaultCause : std::uint32_t {
+  kLoss = 0,       // message transmitted, then lost (x unused)
+  kPartition = 1,  // link cut by a partition (x unused)
+  kDuplicate = 2,  // extra copy delivered (x = copies)
+  kDelay = 3,      // extra hold injected (x = extra delay, seconds)
+};
 
 /// Stable wire name of an event type (what the exporters and the schema
 /// reference in docs/observability.md use).

@@ -32,6 +32,14 @@ const char* event_type_name(EventType type) {
       return "map_apply";
     case EventType::kDelegateElected:
       return "delegate_elected";
+    case EventType::kServerDegrade:
+      return "server_degrade";
+    case EventType::kServerRestore:
+      return "server_restore";
+    case EventType::kFaultInject:
+      return "fault_inject";
+    case EventType::kRetransmit:
+      return "retransmit";
   }
   ANU_ENSURE(false && "unknown event type");
   return "unknown";

@@ -12,6 +12,14 @@
 //
 // Messages carry a wire size so the network model can charge transmission
 // cost and the tests can account protocol overhead.
+//
+// Reports and map updates must actually arrive for the protocol to make
+// progress under lossy networks, so both carry a per-sender sequence
+// number and are acknowledged (Ack) with retransmission on timeout —
+// docs/protocol.md describes the state machine. Heartbeats and shed
+// notices stay best-effort by design: heartbeats are periodic beacons and
+// a lost shed notice only delays a queued-request handoff the region map
+// already made correct.
 #pragma once
 
 #include <cstdint>
@@ -28,9 +36,12 @@ struct LatencyReport {
   std::uint32_t server = 0;
   /// Tuning round this report belongs to (delegate ignores stale rounds).
   std::uint64_t round = 0;
+  /// Reliable-delivery sequence number, unique per sender; 0 = best-effort
+  /// (no ack expected). See the ack/retransmit machinery in protocol.h.
+  std::uint64_t seq = 0;
   balance::ServerReport report;
 
-  [[nodiscard]] std::size_t wire_size() const { return 4 + 8 + 12; }
+  [[nodiscard]] std::size_t wire_size() const { return 4 + 8 + 8 + 12; }
 };
 
 /// Serialized partition table: one (owner, occupied-prefix) pair per
@@ -39,10 +50,12 @@ struct RegionMapUpdate {
   /// Monotonic configuration version; receivers apply only newer maps.
   std::uint64_t version = 0;
   std::uint64_t round = 0;
+  /// Reliable-delivery sequence number (0 = best-effort), as LatencyReport.
+  std::uint64_t seq = 0;
   std::vector<std::pair<std::uint32_t, UnitPoint::raw_type>> partitions;
 
   [[nodiscard]] std::size_t wire_size() const {
-    return 16 + partitions.size() * 12;
+    return 24 + partitions.size() * 12;
   }
 };
 
@@ -63,11 +76,32 @@ struct Heartbeat {
   [[nodiscard]] std::size_t wire_size() const { return 8; }
 };
 
+/// Acknowledges receipt of the sender's reliable message `seq`. Acks are
+/// themselves best-effort: a lost ack just costs one spurious retransmit,
+/// which the receiver's (sender, seq) duplicate suppression absorbs.
+struct Ack {
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] std::size_t wire_size() const { return 12; }
+};
+
 using Message =
-    std::variant<LatencyReport, RegionMapUpdate, ShedNotice, Heartbeat>;
+    std::variant<LatencyReport, RegionMapUpdate, ShedNotice, Heartbeat, Ack>;
 
 [[nodiscard]] inline std::size_t wire_size(const Message& message) {
   return std::visit([](const auto& m) { return m.wire_size(); }, message);
+}
+
+/// The reliable-delivery sequence number a message carries (0 for message
+/// kinds that are always best-effort).
+[[nodiscard]] inline std::uint64_t reliable_seq(const Message& message) {
+  if (const auto* report = std::get_if<LatencyReport>(&message)) {
+    return report->seq;
+  }
+  if (const auto* update = std::get_if<RegionMapUpdate>(&message)) {
+    return update->seq;
+  }
+  return 0;
 }
 
 }  // namespace anu::proto

@@ -49,28 +49,24 @@ bool Network::node_up(std::uint32_t node) const {
   return up_[node];
 }
 
-void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
-  ANU_REQUIRE(from < handlers_.size());
-  ANU_REQUIRE(to < handlers_.size());
-  const std::size_t size = wire_size(message);
+void Network::transmit(std::uint32_t from, std::uint32_t to,
+                       const Message& message, std::size_t size,
+                       double extra_delay) {
+  ++sent_;
   bytes_ += size;
-  if (!up_[from] || !up_[to]) {
-    ++dropped_;
-    return;
-  }
   if (auto* t = sim_.trace()) {
     trace_message(t, sim_.now(), obs::EventType::kMessageSend, from, to,
                   message, size);
   }
   const double delay =
       (config_.base_delay + config_.per_byte * static_cast<double>(size)) *
-      (1.0 + config_.jitter * rng_.next_double());
-  sim_.schedule_after(delay, [this, from, to, size,
-                              msg = std::move(message)] {
+          (1.0 + config_.jitter * rng_.next_double()) +
+      extra_delay;
+  sim_.schedule_after(delay, [this, from, to, size, msg = message] {
     // Deliverability re-checked at delivery time: the receiver may have
     // failed while the message was in flight.
     if (!up_[to] || !handlers_[to]) {
-      ++dropped_;
+      ++dropped_endpoint_;
       return;
     }
     ++delivered_;
@@ -80,6 +76,62 @@ void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
     }
     handlers_[to](from, msg);
   });
+}
+
+void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
+  ANU_REQUIRE(from < handlers_.size());
+  ANU_REQUIRE(to < handlers_.size());
+  if (!up_[from] || !up_[to]) {
+    // Dropped before reaching the wire: no bytes are charged.
+    ++dropped_endpoint_;
+    return;
+  }
+  const std::size_t size = wire_size(message);
+  std::uint32_t copies = 1;
+  double extra_delay = 0.0;
+  if (faults_ != nullptr) {
+    const auto decision = faults_->decide(from, to, sim_.now());
+    if (decision.drop) {
+      ++dropped_injected_;
+      if (decision.partitioned) {
+        // A partition cut severs the link outright — nothing transmitted.
+        if (auto* t = sim_.trace()) {
+          t->emit(sim_.now(), obs::EventType::kFaultInject, from, to,
+                  static_cast<std::uint32_t>(obs::FaultCause::kPartition));
+        }
+        return;
+      }
+      // Random loss: the message hit the wire and vanished; bandwidth was
+      // spent, so the bytes are charged.
+      ++sent_;
+      bytes_ += size;
+      if (auto* t = sim_.trace()) {
+        t->emit(sim_.now(), obs::EventType::kFaultInject, from, to,
+                static_cast<std::uint32_t>(obs::FaultCause::kLoss));
+      }
+      return;
+    }
+    copies = decision.copies;
+    extra_delay = decision.extra_delay;
+    if (auto* t = sim_.trace()) {
+      if (copies > 1) {
+        t->emit(sim_.now(), obs::EventType::kFaultInject, from, to,
+                static_cast<std::uint32_t>(obs::FaultCause::kDuplicate),
+                static_cast<double>(copies));
+      }
+      if (extra_delay > 0.0) {
+        t->emit(sim_.now(), obs::EventType::kFaultInject, from, to,
+                static_cast<std::uint32_t>(obs::FaultCause::kDelay),
+                extra_delay);
+      }
+    }
+  }
+  duplicates_ += copies - 1;
+  for (std::uint32_t copy = 0; copy < copies; ++copy) {
+    // Each copy draws its own jitter, so duplicates can arrive reordered;
+    // the injected extra delay applies to the original only.
+    transmit(from, to, message, size, copy == 0 ? extra_delay : 0.0);
+  }
 }
 
 void Network::broadcast(std::uint32_t from, const Message& message) {

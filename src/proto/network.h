@@ -5,7 +5,18 @@
 // failure model the delegate protocol must tolerate). Per-pair FIFO
 // ordering holds as long as jitter cannot reorder (jitter is bounded below
 // 2x base delay by construction); the protocol is written to tolerate
-// reordering anyway via round/version numbers.
+// reordering anyway via round/version numbers and the ack/retransmit layer.
+//
+// An optional faults::FaultPlan injects adversarial conditions per message:
+// probabilistic loss, duplication, bounded reordering, delay spikes and
+// link partitions (docs/chaos.md). The plan owns its own RNG stream, so
+// attaching one never perturbs the network's jitter stream.
+//
+// Byte accounting: bytes_sent() charges only messages actually transmitted.
+// A message dropped at send time because an endpoint is down never hits the
+// wire and is not charged; a message lost in transit (injected loss, or the
+// receiver failing mid-flight) consumed bandwidth and is. Drops are split
+// by cause: drops_endpoint_down() vs drops_injected().
 #pragma once
 
 #include <cstdint>
@@ -13,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "faults/fault_plan.h"
 #include "proto/messages.h"
 #include "sim/simulation.h"
 
@@ -46,24 +58,54 @@ class Network {
   void set_node_up(std::uint32_t node, bool up);
   [[nodiscard]] bool node_up(std::uint32_t node) const;
 
+  /// Attaches a fault-injection plan consulted once per send. Null detaches
+  /// (the default: a clean network). Caller-owned; must outlive the run.
+  void set_fault_plan(faults::FaultPlan* plan) { faults_ = plan; }
+  [[nodiscard]] faults::FaultPlan* fault_plan() const { return faults_; }
+
   /// Sends a message; delivery is scheduled after the modelled delay.
   void send(std::uint32_t from, std::uint32_t to, Message message);
   /// Sends to every up node except `from`.
   void broadcast(std::uint32_t from, const Message& message);
 
+  /// Transmissions accepted onto the wire (includes injected duplicates).
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  /// All drops, any cause.
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return dropped_endpoint_ + dropped_injected_;
+  }
+  /// Drops because a node was down: at send time (never transmitted) or at
+  /// delivery time (receiver failed mid-flight).
+  [[nodiscard]] std::uint64_t drops_endpoint_down() const {
+    return dropped_endpoint_;
+  }
+  /// Drops injected by the fault plan (loss or partition cut).
+  [[nodiscard]] std::uint64_t drops_injected() const {
+    return dropped_injected_;
+  }
+  /// Extra copies delivered through injected duplication.
+  [[nodiscard]] std::uint64_t duplicates_injected() const {
+    return duplicates_;
+  }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
   [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
 
  private:
+  void transmit(std::uint32_t from, std::uint32_t to, const Message& message,
+                std::size_t size, double extra_delay);
+
   sim::Simulation& sim_;
   NetworkConfig config_;
   Xoshiro256 rng_;
+  faults::FaultPlan* faults_ = nullptr;
   std::vector<Handler> handlers_;
   std::vector<bool> up_;
+  std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_endpoint_ = 0;
+  std::uint64_t dropped_injected_ = 0;
+  std::uint64_t duplicates_ = 0;
   std::uint64_t bytes_ = 0;
 };
 

@@ -18,17 +18,24 @@ ProtocolCluster::ProtocolCluster(sim::Simulation& simulation,
       config_(config),
       latency_model_(std::move(latency_model)),
       family_(config.hash_seed),
+      retry_rng_(config.retransmit.seed),
       nodes_(server_count),
       ticker_(simulation, config.tuning_interval,
               [this](SimTime now) { on_tick(now); }) {
   ANU_REQUIRE(server_count > 0);
   ANU_REQUIRE(network.node_count() == server_count);
   ANU_REQUIRE(latency_model_ != nullptr);
+  ANU_REQUIRE(config.retransmit.rto > 0.0);
+  ANU_REQUIRE(config.retransmit.rto_max >= config.retransmit.rto);
+  ANU_REQUIRE(config.retransmit.jitter >= 0.0 &&
+              config.retransmit.jitter < 1.0);
+  ANU_REQUIRE(config.retransmit.max_attempts >= 1);
   // Every replica starts from the identical deterministic equal-share map.
   const core::RegionMap initial(server_count);
   for (std::uint32_t s = 0; s < server_count; ++s) {
     nodes_[s].map = initial;
     nodes_[s].round_reports.resize(server_count);
+    nodes_[s].seen_seqs.resize(server_count);
     network_.attach(s, [this, s](std::uint32_t from, const Message& message) {
       on_message(s, from, message);
     });
@@ -57,6 +64,7 @@ void ProtocolCluster::fail_server(std::uint32_t server) {
   const std::uint32_t before = delegate();
   nodes_[server].up = false;
   nodes_[server].grace_deadline.cancel();
+  drop_pending(server);
   network_.set_node_up(server, false);
   // The server_fail event itself is emitted by the data-plane Cluster
   // sharing this Simulation; this layer records only the election outcome.
@@ -92,7 +100,7 @@ void ProtocolCluster::recover_server(std::uint32_t server) {
     transfer.version = nodes_[peer].version;
     transfer.round = nodes_[peer].version;
     transfer.partitions = nodes_[peer].map.snapshot();
-    network_.send(peer, server, transfer);
+    send_reliable(peer, server, transfer);
     break;
   }
 }
@@ -167,6 +175,73 @@ std::uint64_t ProtocolCluster::shed_notices_received(
   return nodes_[server].shed_notices;
 }
 
+void ProtocolCluster::send_reliable(std::uint32_t self, std::uint32_t to,
+                                    Message message) {
+  Node& node = nodes_[self];
+  if (!config_.retransmit.enabled) {
+    network_.send(self, to, std::move(message));
+    return;
+  }
+  const std::uint64_t seq = node.next_seq++;
+  if (auto* report = std::get_if<LatencyReport>(&message)) {
+    report->seq = seq;
+  } else if (auto* update = std::get_if<RegionMapUpdate>(&message)) {
+    update->seq = seq;
+  } else {
+    ANU_ENSURE(false && "only reports and map updates are sent reliably");
+  }
+  PendingSend pending;
+  pending.message = message;
+  pending.to = to;
+  pending.attempts = 1;
+  pending.rto = config_.retransmit.rto;
+  node.pending.emplace(seq, std::move(pending));
+  ++reliable_sent_;
+  network_.send(self, to, std::move(message));
+  arm_retransmit(self, seq);
+}
+
+void ProtocolCluster::arm_retransmit(std::uint32_t self, std::uint64_t seq) {
+  auto it = nodes_[self].pending.find(seq);
+  ANU_REQUIRE(it != nodes_[self].pending.end());
+  const double timeout =
+      it->second.rto *
+      (1.0 + config_.retransmit.jitter * retry_rng_.next_double());
+  it->second.timer = sim_.schedule_after(
+      timeout, [this, self, seq] { on_retransmit_timer(self, seq); });
+}
+
+void ProtocolCluster::on_retransmit_timer(std::uint32_t self,
+                                          std::uint64_t seq) {
+  Node& node = nodes_[self];
+  const auto it = node.pending.find(seq);
+  if (it == node.pending.end() || !node.up) return;  // acked or sender died
+  PendingSend& pending = it->second;
+  // Give up once the receiver is believed down (its region is reclaimed by
+  // membership, not by retries) or the retry budget is spent.
+  if (!believed_up(self, pending.to) ||
+      pending.attempts >= config_.retransmit.max_attempts) {
+    ++retries_abandoned_;
+    node.pending.erase(it);
+    return;
+  }
+  ++pending.attempts;
+  ++retransmits_;
+  if (auto* t = sim_.trace()) {
+    t->emit(sim_.now(), obs::EventType::kRetransmit, self, pending.to,
+            pending.attempts, pending.rto);
+  }
+  network_.send(self, pending.to, pending.message);
+  pending.rto = std::min(pending.rto * 2.0, config_.retransmit.rto_max);
+  arm_retransmit(self, seq);
+}
+
+void ProtocolCluster::drop_pending(std::uint32_t self) {
+  Node& node = nodes_[self];
+  for (auto& [seq, pending] : node.pending) pending.timer.cancel();
+  node.pending.clear();
+}
+
 void ProtocolCluster::on_tick(SimTime now) {
   const auto round = static_cast<std::uint64_t>(
       now / config_.tuning_interval + 0.5);
@@ -184,7 +259,7 @@ void ProtocolCluster::on_tick(SimTime now) {
       // The delegate's own report needs no network trip.
       delegate_collect(s, report);
     } else {
-      network_.send(s, target, report);
+      send_reliable(s, target, report);
     }
   }
 }
@@ -195,6 +270,25 @@ void ProtocolCluster::on_message(std::uint32_t self, std::uint32_t from,
   if (!node.up) return;
   // Any received message proves the sender was alive when it sent.
   if (config_.use_heartbeats) views_[self].heard_from(from, sim_.now());
+  if (const auto* ack = std::get_if<Ack>(&message)) {
+    const auto it = node.pending.find(ack->seq);
+    if (it != node.pending.end()) {
+      it->second.timer.cancel();
+      node.pending.erase(it);
+      ++acks_received_;
+    }
+    return;
+  }
+  if (const std::uint64_t seq = reliable_seq(message); seq != 0) {
+    // Ack first — even for duplicates, whose original ack may have been
+    // lost — then suppress anything already processed so retransmit
+    // echoes compose with network-injected duplication.
+    network_.send(self, from, Ack{seq});
+    if (!node.seen_seqs[from].insert(seq).second) {
+      ++duplicates_suppressed_;
+      return;
+    }
+  }
   if (const auto* report = std::get_if<LatencyReport>(&message)) {
     // Only the node currently acting as delegate collects reports; a
     // report addressed to a stale delegate is ignored (the sender will
@@ -278,7 +372,13 @@ void ProtocolCluster::delegate_tune(std::uint32_t self) {
   update.version = node.collecting_round;
   update.round = node.collecting_round;
   update.partitions = tuned.snapshot();
-  network_.broadcast(self, update);
+  // Reliable per-peer distribution (each peer gets its own seq/ack cycle);
+  // peers believed down are skipped — they catch up via the state transfer
+  // on rejoin, or simply at the next round's version.
+  for (std::uint32_t peer = 0; peer < nodes_.size(); ++peer) {
+    if (peer == self || !believed_up(self, peer)) continue;
+    send_reliable(self, peer, update);
+  }
   apply_update(self, update);
 }
 

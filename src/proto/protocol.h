@@ -12,12 +12,19 @@
 // the acquirers (ShedNotice).
 //
 // Tolerances built in and tested:
-//   * lost reports: read as idle (bounded growth nudge), never block a round;
-//   * lost/ reordered updates: version numbers make application idempotent
-//     and monotonic; a node that missed version v catches up at v+1;
+//   * lost reports: retransmitted (ack/timeout, capped exponential backoff);
+//     a report lost past the retry budget reads as idle (bounded growth
+//     nudge), never blocks a round;
+//   * lost / reordered / duplicated updates: reliable delivery plus
+//     (sender, seq) duplicate suppression gets them through a lossy
+//     network; version numbers make application idempotent and monotonic,
+//     and a node that missed version v entirely catches up at v+1;
 //   * delegate failure mid-round: no update is produced that round; the
 //     next round's reports go to the newly elected delegate, which runs
-//     the same pure function on its own replica — statelessness in action.
+//     the same pure function on its own replica — statelessness in action;
+//   * adversarial networks (loss, duplication, partitions, delay spikes —
+//     src/faults, docs/chaos.md): the chaos suite asserts convergence
+//     invariants after faults cease.
 //
 // The protocol layer abstracts the data plane: per round, each node's
 // observed latency comes from a pluggable LatencyModel (queueing-level
@@ -30,7 +37,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
+
+#include "common/rng.h"
 
 #include "core/region_map.h"
 #include "core/tuner.h"
@@ -40,6 +51,27 @@
 #include "sim/monitor.h"
 
 namespace anu::proto {
+
+/// Ack/retransmit policy for the messages that must arrive (latency
+/// reports, region-map distribution). Lost best-effort messages merely
+/// degrade one round; under sustained loss (docs/chaos.md) reliability is
+/// what keeps every round completing and every replica converging.
+struct RetransmitConfig {
+  /// Master switch; off restores the seed's fire-and-forget behaviour.
+  bool enabled = true;
+  /// Initial retransmit timeout (seconds). Doubled per attempt, capped.
+  double rto = 0.1;
+  double rto_max = 2.0;
+  /// Multiplicative jitter amplitude in [0, 1) applied per timeout so
+  /// synchronized losses do not retransmit in lockstep.
+  double jitter = 0.25;
+  /// Total transmissions per message (first send + retries) before the
+  /// sender gives up.
+  std::uint32_t max_attempts = 8;
+  /// Dedicated seed for retransmit jitter — isolated from the network and
+  /// fault streams so enabling chaos never shifts retry timing.
+  std::uint64_t seed = 0x7265747279ULL;  // "retry"
+};
 
 struct ProtocolConfig {
   double tuning_interval = 120.0;
@@ -57,6 +89,7 @@ struct ProtocolConfig {
   /// delegate's detector suspects it (no oracle involved).
   bool use_heartbeats = false;
   HeartbeatConfig heartbeat;
+  RetransmitConfig retransmit;
 };
 
 /// Produces server `s`'s interval report given its current share — the
@@ -97,17 +130,52 @@ class ProtocolCluster {
       std::uint32_t server) const;
   [[nodiscard]] std::uint64_t updates_published() const { return published_; }
 
+  /// Reliable-delivery counters, aggregated over all nodes. They reconcile
+  /// as: acks_received <= reliable_sent + retransmits (each ack answers one
+  /// transmission), and every pending entry ends acked, abandoned, or
+  /// cancelled by its sender failing.
+  [[nodiscard]] std::uint64_t reliable_sent() const { return reliable_sent_; }
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t acks_received() const { return acks_received_; }
+  /// Received reliable messages whose (sender, seq) was already processed —
+  /// retransmit echoes and injected duplicates, suppressed before dispatch.
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  /// Reliable sends abandoned after max_attempts or because the receiver
+  /// was believed down.
+  [[nodiscard]] std::uint64_t retries_abandoned() const {
+    return retries_abandoned_;
+  }
+
   /// Fired when a node sheds a file set on applying a new map (at the
   /// moment it sends the ShedNotice): (file_set, from, to). The data-plane
   /// integration uses this to hand the file set's queued requests over.
   std::function<void(std::uint32_t, std::uint32_t, std::uint32_t)> on_shed;
 
  private:
+  /// One in-flight reliable message awaiting its ack.
+  struct PendingSend {
+    Message message;
+    std::uint32_t to = 0;
+    std::uint32_t attempts = 1;  // transmissions so far
+    double rto = 0.0;            // next timeout (pre-jitter)
+    sim::EventHandle timer;
+  };
+
   struct Node {
     core::RegionMap map{1};  // placeholder; re-initialized in ctor
     std::uint64_t version = 0;
     bool up = true;
     std::uint64_t shed_notices = 0;
+    // Reliable-delivery sender state: per-node monotonically increasing
+    // sequence (never reset, so (sender, seq) stays unique across
+    // fail/recover cycles) and the unacked sends keyed by seq.
+    std::uint64_t next_seq = 1;
+    std::unordered_map<std::uint64_t, PendingSend> pending;
+    // Receiver state: seqs already processed, per sender — retransmits and
+    // injected duplicates are re-acked but not re-dispatched.
+    std::vector<std::unordered_set<std::uint64_t>> seen_seqs;
     // Delegate-role state (used only while this node is the delegate).
     std::vector<std::optional<balance::ServerReport>> round_reports;
     std::uint64_t collecting_round = 0;
@@ -124,15 +192,28 @@ class ProtocolCluster {
   [[nodiscard]] ServerId route_on(const core::RegionMap& map,
                                   std::string_view name) const;
 
+  /// Stamps the message with self's next sequence number and sends it with
+  /// ack/retransmit tracking (plain send when retransmit.enabled is off).
+  void send_reliable(std::uint32_t self, std::uint32_t to, Message message);
+  void arm_retransmit(std::uint32_t self, std::uint64_t seq);
+  void on_retransmit_timer(std::uint32_t self, std::uint64_t seq);
+  void drop_pending(std::uint32_t self);
+
   sim::Simulation& sim_;
   Network& network_;
   ProtocolConfig config_;
   LatencyModel latency_model_;
   HashFamily family_;
+  Xoshiro256 retry_rng_;
   std::vector<Node> nodes_;
   std::vector<HeartbeatView> views_;  // one per node (heartbeat mode)
   std::vector<std::string> file_sets_;
   std::uint64_t published_ = 0;
+  std::uint64_t reliable_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t acks_received_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t retries_abandoned_ = 0;
   sim::PeriodicMonitor ticker_;
   std::unique_ptr<sim::PeriodicMonitor> heartbeat_ticker_;
 };

@@ -69,6 +69,32 @@ TEST(ConfigFile, ParsesMembershipEvents) {
   EXPECT_EQ(events[3].action, cluster::MembershipAction::kRemove);
 }
 
+TEST(ConfigFile, ParsesDegradeRestoreEvents) {
+  const auto spec = parse(
+      "degrade 140 2 0.25\n"
+      "restore 160 2\n");
+  ASSERT_TRUE(spec.has_value());
+  const auto& events = spec->experiment.failures.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].action, cluster::MembershipAction::kDegrade);
+  EXPECT_DOUBLE_EQ(events[0].when, 140.0 * 60.0);
+  EXPECT_EQ(events[0].server, ServerId(2));
+  EXPECT_DOUBLE_EQ(events[0].factor, 0.25);
+  EXPECT_EQ(events[1].action, cluster::MembershipAction::kRestore);
+  EXPECT_DOUBLE_EQ(events[1].when, 160.0 * 60.0);
+}
+
+TEST(ConfigFile, RejectsBadDegradeFactor) {
+  // A degrade factor must land in (0, 1]: 0 would be a failure, >1 a boost.
+  EXPECT_FALSE(parse("degrade 10 0 0\n").has_value());
+  EXPECT_FALSE(parse("degrade 10 0 1.5\n").has_value());
+  EXPECT_FALSE(parse("degrade 10 0 -0.3\n").has_value());
+  EXPECT_FALSE(parse("degrade 10 0\n").has_value());
+  ConfigError error;
+  EXPECT_FALSE(parse("degrade 10 0 2\n", &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+}
+
 TEST(ConfigFile, RejectsOutOfOrderEvents) {
   ConfigError error;
   EXPECT_FALSE(parse("fail 50 1\nrecover 30 1\n", &error).has_value());

@@ -1,0 +1,115 @@
+// FailureSchedule: scripted ordering rules, the random generators'
+// guarantees (disjoint rounds, honored windows, determinism), and the
+// degrade/restore action round-trip.
+#include "cluster/failure_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace anu::cluster {
+namespace {
+
+TEST(ActionName, CoversEveryAction) {
+  EXPECT_STREQ(action_name(MembershipAction::kFail), "fail");
+  EXPECT_STREQ(action_name(MembershipAction::kRecover), "recover");
+  EXPECT_STREQ(action_name(MembershipAction::kAdd), "add");
+  EXPECT_STREQ(action_name(MembershipAction::kRemove), "remove");
+  EXPECT_STREQ(action_name(MembershipAction::kDegrade), "degrade");
+  EXPECT_STREQ(action_name(MembershipAction::kRestore), "restore");
+}
+
+TEST(RandomFailRecover, RoundsAreDisjointAndDowntimeHonored) {
+  const SimTime horizon = 1000.0;
+  const SimTime downtime = 40.0;
+  const std::size_t rounds = 5;
+  const auto schedule = FailureSchedule::random_fail_recover(
+      123, 4, rounds, horizon, downtime);
+  const auto& events = schedule.events();
+  ASSERT_EQ(events.size(), rounds * 2);
+  const SimTime window = horizon / static_cast<double>(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const MembershipEvent& fail = events[r * 2];
+    const MembershipEvent& recover = events[r * 2 + 1];
+    EXPECT_EQ(fail.action, MembershipAction::kFail);
+    EXPECT_EQ(recover.action, MembershipAction::kRecover);
+    EXPECT_EQ(fail.server.value(), recover.server.value());
+    // The server is down exactly `downtime`, wholly inside its round's
+    // window — so no two rounds overlap and at most one server is down.
+    EXPECT_NEAR(recover.when - fail.when, downtime, 1e-6);
+    EXPECT_GE(fail.when, window * static_cast<double>(r));
+    EXPECT_LE(recover.when, window * static_cast<double>(r + 1));
+    EXPECT_LT(fail.server.value(), 4u);
+  }
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].when, events[i].when);
+  }
+}
+
+TEST(RandomFailRecover, DeterministicInSeed) {
+  const auto a = FailureSchedule::random_fail_recover(7, 5, 4, 800.0, 30.0);
+  const auto b = FailureSchedule::random_fail_recover(7, 5, 4, 800.0, 30.0);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].when, b.events()[i].when);
+    EXPECT_EQ(a.events()[i].server.value(), b.events()[i].server.value());
+    EXPECT_EQ(a.events()[i].action, b.events()[i].action);
+  }
+  const auto c = FailureSchedule::random_fail_recover(8, 5, 4, 800.0, 30.0);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    if (a.events()[i].when != c.events()[i].when ||
+        a.events()[i].server.value() != c.events()[i].server.value()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomDegrade, PairsDegradeWithRestoreInsideWindows) {
+  const SimTime horizon = 900.0;
+  const SimTime duration = 60.0;
+  const std::size_t rounds = 3;
+  const auto schedule = FailureSchedule::random_degrade(
+      42, 5, rounds, horizon, duration, 0.2, 0.6);
+  const auto& events = schedule.events();
+  ASSERT_EQ(events.size(), rounds * 2);
+  const SimTime window = horizon / static_cast<double>(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const MembershipEvent& degrade = events[r * 2];
+    const MembershipEvent& restore = events[r * 2 + 1];
+    EXPECT_EQ(degrade.action, MembershipAction::kDegrade);
+    EXPECT_EQ(restore.action, MembershipAction::kRestore);
+    EXPECT_EQ(degrade.server.value(), restore.server.value());
+    EXPECT_NEAR(restore.when - degrade.when, duration, 1e-6);
+    EXPECT_GE(degrade.when, window * static_cast<double>(r));
+    EXPECT_LE(restore.when, window * static_cast<double>(r + 1));
+    EXPECT_GE(degrade.factor, 0.2);
+    EXPECT_LE(degrade.factor, 0.6);
+  }
+}
+
+TEST(RandomDegrade, DeterministicInSeed) {
+  const auto a = FailureSchedule::random_degrade(3, 4, 2, 600.0, 50.0,
+                                                 0.3, 0.5);
+  const auto b = FailureSchedule::random_degrade(3, 4, 2, 600.0, 50.0,
+                                                 0.3, 0.5);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].when, b.events()[i].when);
+    EXPECT_DOUBLE_EQ(a.events()[i].factor, b.events()[i].factor);
+    EXPECT_EQ(a.events()[i].server.value(), b.events()[i].server.value());
+  }
+}
+
+TEST(FailureSchedule, RejectsOutOfOrderAdds) {
+  FailureSchedule schedule;
+  schedule.add({100.0, MembershipAction::kFail, ServerId(0), 0.0});
+  schedule.add({100.0, MembershipAction::kDegrade, ServerId(1), 0.0});
+  EXPECT_DEATH(
+      schedule.add({50.0, MembershipAction::kRecover, ServerId(0), 0.0}),
+      "");
+}
+
+}  // namespace
+}  // namespace anu::cluster

@@ -2,6 +2,7 @@
 // flow, versioned replication, shed notices, delegate failover.
 #include <gtest/gtest.h>
 
+#include "faults/fault_plan.h"
 #include "proto/protocol.h"
 
 namespace anu::proto {
@@ -70,7 +71,7 @@ TEST(Network, AccountsBytes) {
   RegionMapUpdate update;
   update.partitions.resize(16);
   net.send(0, 1, update);
-  EXPECT_EQ(net.bytes_sent(), 16u + 16u * 12u);
+  EXPECT_EQ(net.bytes_sent(), 24u + 16u * 12u);
 }
 
 // --- protocol ---------------------------------------------------------------
@@ -240,6 +241,66 @@ TEST(Protocol, StateTransferCatchesUpBeforeNextRound) {
 
 // --- heartbeat failure detection -------------------------------------------
 
+// --- reliable delivery under faults ----------------------------------------
+
+TEST(Reliability, RoundsConvergeUnderHeavyLoss) {
+  ProtoHarness h(5, {1.0, 3.0, 5.0, 7.0, 9.0});
+  faults::FaultPlanConfig fault_config;
+  fault_config.loss = 0.2;
+  faults::FaultPlan plan(fault_config);
+  h.net.set_fault_plan(&plan);
+  h.sim.run_until(120.0 * 10 + 20.0);
+  // One in five control messages vanished, yet every round still closed:
+  // retransmission carried the reports in and the map updates out.
+  EXPECT_TRUE(h.cluster.replicas_agree());
+  EXPECT_EQ(h.cluster.updates_published(), 10u);
+  EXPECT_GT(plan.injected_losses(), 0u);
+  EXPECT_GT(h.cluster.retransmits(), 0u);
+  EXPECT_GT(h.cluster.acks_received(), 0u);
+  // Acks only exist for reliable transmissions; the books must balance.
+  EXPECT_LE(h.cluster.acks_received(),
+            h.cluster.reliable_sent() + h.cluster.retransmits());
+}
+
+TEST(Reliability, DuplicatedMessagesAreSuppressedNotReapplied) {
+  ProtoHarness h(4, {1.0, 2.0, 4.0, 8.0});
+  faults::FaultPlanConfig fault_config;
+  fault_config.duplicate = 0.5;
+  faults::FaultPlan plan(fault_config);
+  h.net.set_fault_plan(&plan);
+  h.sim.run_until(120.0 * 8 + 20.0);
+  EXPECT_TRUE(h.cluster.replicas_agree());
+  EXPECT_EQ(h.cluster.updates_published(), 8u);
+  EXPECT_GT(plan.duplications(), 0u);
+  EXPECT_GT(h.cluster.duplicates_suppressed(), 0u);
+}
+
+TEST(Reliability, LossFreeRunsNeverRetransmit) {
+  ProtoHarness h(3, {1.0, 2.0, 4.0});
+  h.sim.run_until(120.0 * 5 + 20.0);
+  EXPECT_GT(h.cluster.reliable_sent(), 0u);
+  EXPECT_EQ(h.cluster.retransmits(), 0u);
+  EXPECT_EQ(h.cluster.duplicates_suppressed(), 0u);
+  EXPECT_EQ(h.cluster.retries_abandoned(), 0u);
+  // Every reliable message was acked exactly once.
+  EXPECT_EQ(h.cluster.acks_received(), h.cluster.reliable_sent());
+}
+
+TEST(Reliability, PendingRetriesAbandonedWhenPeerFails) {
+  ProtoHarness h(4, {1.0, 2.0, 4.0, 8.0});
+  // Cut all of node 3's links so everything sent to it stays pending,
+  // then declare it failed: the senders must abandon, not spin forever.
+  faults::FaultPlan plan{faults::FaultPlanConfig{}};
+  h.net.set_fault_plan(&plan);
+  h.sim.schedule_at(115.0, [&] {
+    for (std::uint32_t peer = 0; peer < 3; ++peer) plan.partition(peer, 3);
+  });
+  h.sim.schedule_at(125.0, [&] { h.cluster.fail_server(3); });
+  h.sim.run_until(120.0 * 4 + 20.0);
+  EXPECT_GT(h.cluster.retries_abandoned(), 0u);
+  EXPECT_TRUE(h.cluster.replicas_agree());
+}
+
 TEST(HeartbeatView, SelfAlwaysUp) {
   const HeartbeatView view(HeartbeatConfig{}, 4, 2);
   EXPECT_TRUE(view.believes_up(2, 1e9));
@@ -261,6 +322,32 @@ TEST(HeartbeatView, DelegateFollowsSuspicion) {
   EXPECT_EQ(view.believed_delegate(1.0), 0u);
   EXPECT_EQ(view.believed_delegate(100.0), 1u);  // 0 long silent
   EXPECT_EQ(view.believed_delegate(1000.0), 2u); // everyone silent: self
+}
+
+TEST(HeartbeatView, FlappingPeerFollowsLatestEvidence) {
+  HeartbeatView view(HeartbeatConfig{}, 3, 2);
+  view.heard_from(0, 0.0);
+  view.heard_from(1, 6.0);
+  EXPECT_EQ(view.believed_delegate(1.0), 0u);
+  // Node 0 goes silent past the suspicion threshold: delegate shifts to 1.
+  EXPECT_EQ(view.believed_delegate(8.0), 1u);
+  // It flaps back: a single fresh beacon restores it immediately.
+  view.heard_from(0, 8.5);
+  EXPECT_EQ(view.believed_delegate(9.0), 0u);
+  // And silent again: suspicion re-arms from the latest beacon, not the
+  // first one.
+  view.heard_from(1, 18.0);
+  EXPECT_EQ(view.believed_delegate(20.0), 1u);
+}
+
+TEST(HeartbeatView, AllPeersSuspectedElectsSelf) {
+  HeartbeatView view(HeartbeatConfig{}, 4, 3);
+  for (std::uint32_t p = 0; p < 3; ++p) view.heard_from(p, 10.0);
+  EXPECT_EQ(view.believed_delegate(11.0), 0u);
+  // Total silence: the node must still name a delegate — itself — so a
+  // fully partitioned node keeps making progress instead of wedging.
+  EXPECT_EQ(view.believed_delegate(1e6), 3u);
+  EXPECT_EQ(view.believed_up_count(1e6), 1u);
 }
 
 TEST(HeartbeatView, UpCountTracksViews) {

@@ -4,25 +4,34 @@
 //   anu_sim [options] <config-file>  # run the configured system
 //   anu_sim --compare <config-file>  # run all four systems, compare
 //   anu_sim --example                # print a commented example config
+//   anu_sim --chaos-seed <n> [--chaos-profile <p>]  # chaos run
 //
 // Options:
 //   --trace-out <file>     write the event trace (.jsonl -> JSONL, else
 //                          Chrome trace_event, loadable in ui.perfetto.dev)
 //   --manifest-out <file>  write the per-run telemetry manifest (JSON)
+//   --chaos-seed <n>       run a seeded chaos scenario through the full
+//                          protocol experiment and check its convergence
+//                          invariants (docs/chaos.md); exits 1 on violation
+//   --chaos-profile <p>    light | heavy | partition | degrade | mixed
+//                          (default mixed)
 //
-// Both options override the matching `trace_out` / `manifest_out` config
-// keys. Schemas: docs/observability.md.
+// The first two options override the matching `trace_out` / `manifest_out`
+// config keys. Schemas: docs/observability.md.
 //
 // The config format is documented in src/driver/config_file.h. The tool
 // replays the configured workload against the configured system and prints
 // the experiment summary; with `csv_out` set it also writes the per-server
 // latency time series for plotting.
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 
 #include "common/table.h"
+#include "driver/chaos.h"
 #include "driver/config_file.h"
 #include "driver/telemetry.h"
 #include "metrics/consistency.h"
@@ -172,6 +181,106 @@ int run(const char* path, const OutputOptions& options) {
   return 0;
 }
 
+int run_chaos_cli(std::uint64_t seed, ChaosProfile profile,
+                  const OutputOptions& options) {
+  ChaosConfig config;
+  config.seed = seed;
+  config.profile = profile;
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!options.trace_out.empty() || !options.manifest_out.empty()) {
+    sink = std::make_unique<obs::TraceSink>();
+    config.trace = sink.get();
+  }
+
+  std::printf("anu_sim --chaos: profile %s, seed %llu, %zu servers, "
+              "%zu requests, horizon %.0fs (faults cease at %.0fs)\n",
+              chaos_profile_name(profile),
+              static_cast<unsigned long long>(seed), config.servers,
+              config.requests, config.horizon,
+              config.horizon * kFaultPhaseFraction);
+  const ChaosReport report = run_chaos(config);
+
+  Table scenario({"fault", "value"});
+  scenario.add_row({"loss", format_double(report.faults.loss, 3)});
+  scenario.add_row({"duplicate", format_double(report.faults.duplicate, 3)});
+  scenario.add_row({"delay_spike",
+                    format_double(report.faults.delay_spike, 3)});
+  scenario.add_row({"reorder", format_double(report.faults.reorder, 3)});
+  scenario.add_row({"partition_windows",
+                    std::to_string(report.faults.partitions.size())});
+  scenario.add_row({"membership_events",
+                    std::to_string(report.failures.events().size())});
+  scenario.print(std::cout);
+
+  const auto& cp = report.result.control_plane;
+  Table counters({"counter", "value"});
+  counters.add_row({"messages_sent", std::to_string(cp.messages_sent)});
+  counters.add_row({"messages_delivered",
+                    std::to_string(cp.messages_delivered)});
+  counters.add_row({"drops_injected", std::to_string(cp.drops_injected)});
+  counters.add_row({"drops_endpoint_down",
+                    std::to_string(cp.drops_endpoint_down)});
+  counters.add_row({"duplicates_injected",
+                    std::to_string(cp.duplicates_injected)});
+  counters.add_row({"reliable_sent", std::to_string(cp.reliable_sent)});
+  counters.add_row({"retransmits", std::to_string(cp.retransmits)});
+  counters.add_row({"acks_received", std::to_string(cp.acks_received)});
+  counters.add_row({"duplicates_suppressed",
+                    std::to_string(cp.duplicates_suppressed)});
+  counters.add_row({"retries_abandoned",
+                    std::to_string(cp.retries_abandoned)});
+  counters.add_row({"requests_completed",
+                    std::to_string(report.result.requests_completed)});
+  counters.add_row({"tuning_rounds",
+                    std::to_string(report.result.tuning_rounds)});
+  counters.print(std::cout);
+
+  if (!options.trace_out.empty()) {
+    if (obs::write_trace_file(*sink, options.trace_out)) {
+      std::printf("wrote trace (%zu events, %zu dropped) to %s\n",
+                  sink->size(), sink->dropped(), options.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!options.manifest_out.empty()) {
+    // The manifest's config block describes the generated scenario: the
+    // cluster the chaos run built plus its membership script (degrade
+    // events round-trip through the config format).
+    SimSpec spec;
+    spec.experiment.horizon = config.horizon;
+    spec.experiment.tuning_interval = config.protocol.tuning_interval;
+    spec.experiment.failures = report.failures;
+    static constexpr double kPaperSpeeds[] = {1.0, 3.0, 5.0, 7.0, 9.0};
+    spec.experiment.cluster.server_speeds.clear();
+    for (std::size_t s = 0; s < config.servers; ++s) {
+      spec.experiment.cluster.server_speeds.push_back(kPaperSpeeds[s % 5]);
+    }
+    if (write_manifest_file(options.manifest_out, spec, report.result,
+                            sink.get())) {
+      std::printf("wrote manifest to %s\n", options.manifest_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.manifest_out.c_str());
+      return 1;
+    }
+  }
+
+  if (!report.passed()) {
+    std::printf("chaos: %zu invariant violation(s):\n",
+                report.violations.size());
+    for (const std::string& v : report.violations) {
+      std::printf("  - %s\n", v.c_str());
+    }
+    return 1;
+  }
+  std::printf("chaos: converged — replicas agree, coverage holds, "
+              "counters reconcile\n");
+  return 0;
+}
+
 int compare(const char* path) {
   ConfigError error;
   const auto spec = parse_sim_config_file(path, &error);
@@ -220,10 +329,12 @@ int usage(const char* argv0) {
                "usage: %s [options] <config-file>\n"
                "       %s --compare <config-file>\n"
                "       %s --example\n"
+               "       %s --chaos-seed <n> [--chaos-profile <p>] [options]\n"
                "options:\n"
                "  --trace-out <file>     write event trace (.jsonl or Chrome)\n"
-               "  --manifest-out <file>  write per-run telemetry manifest\n",
-               argv0, argv0, argv0);
+               "  --manifest-out <file>  write per-run telemetry manifest\n"
+               "  --chaos-profile <p>    light|heavy|partition|degrade|mixed\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -237,12 +348,25 @@ int main(int argc, char** argv) {
   }
   OutputOptions options;
   const char* config = nullptr;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
+  ChaosProfile chaos_profile = ChaosProfile::kMixed;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
       options.trace_out = argv[++i];
     } else if (std::strcmp(arg, "--manifest-out") == 0 && i + 1 < argc) {
       options.manifest_out = argv[++i];
+    } else if (std::strcmp(arg, "--chaos-seed") == 0 && i + 1 < argc) {
+      chaos = true;
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--chaos-profile") == 0 && i + 1 < argc) {
+      const auto parsed = parse_chaos_profile(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown chaos profile: %s\n", argv[i]);
+        return usage(argv[0]);
+      }
+      chaos_profile = *parsed;
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else if (!config) {
@@ -250,6 +374,10 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+  if (chaos) {
+    if (config) return usage(argv[0]);  // chaos generates its own scenario
+    return run_chaos_cli(chaos_seed, chaos_profile, options);
   }
   if (!config) return usage(argv[0]);
   return run(config, options);
