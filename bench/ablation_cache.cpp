@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -19,7 +20,8 @@
 using namespace anu;
 using namespace anu::driver;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Cold-cache ablation: latency vs cache-miss penalty factor\n");
 
   const auto workload = paper_synthetic_workload();

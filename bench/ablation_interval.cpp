@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -18,7 +19,8 @@
 using namespace anu;
 using namespace anu::driver;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Tuning-interval ablation (paper section 5.1: two minutes)\n");
 
   const auto workload = paper_synthetic_workload();

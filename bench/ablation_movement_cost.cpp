@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -21,7 +22,8 @@
 using namespace anu;
 using namespace anu::driver;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Movement-cost ablation: latency vs per-move cold-cache "
               "penalty\n");
 

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -35,7 +36,8 @@ ExperimentResult run_variant(const workload::Workload& workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Tuner ablation: delegate update-rule knobs on the synthetic "
               "workload\n");
 

@@ -1,0 +1,94 @@
+#include "bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "obs/build_info.h"
+#include "obs/json.h"
+
+namespace anu::bench {
+
+namespace {
+
+std::string basename_of(const char* path) {
+  const std::string s = path ? path : "bench";
+  const std::size_t slash = s.find_last_of('/');
+  return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+/// Peak resident set size in bytes; 0 where the platform has no getrusage.
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+BenchReport::BenchReport(int* argc, char** argv)
+    : name_(basename_of(*argc > 0 ? argv[0] : nullptr)),
+      start_(std::chrono::steady_clock::now()) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < *argc) {
+      path_ = argv[i + 1];
+      // Close the two-argument gap so downstream parsers (google-benchmark's
+      // Initialize) never see the flag.
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      break;
+    }
+  }
+  if (path_.empty()) {
+    if (const char* dir = std::getenv("ANU_BENCH_JSON_DIR")) {
+      path_ = std::string(dir) + "/BENCH_" + name_ + ".json";
+    }
+  }
+}
+
+BenchReport::~BenchReport() { write(); }
+
+bool BenchReport::write() {
+  if (path_.empty() || written_) return true;
+  written_ = true;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const auto events = events_.load(std::memory_order_relaxed);
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", "anu.bench");
+  doc.set("schema_version", kBenchSchemaVersion);
+  doc.set("name", name_);
+  doc.set("git", obs::git_describe());
+  doc.set("wall_time_s", wall);
+  doc.set("events", events);
+  doc.set("events_per_sec",
+          wall > 0.0 ? static_cast<double>(events) / wall : 0.0);
+  doc.set("peak_rss_bytes", peak_rss_bytes());
+  std::ofstream os(path_);
+  if (os) {
+    doc.write_pretty(os);
+    os << '\n';
+  }
+  if (!os) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path_.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path_.c_str());
+  return true;
+}
+
+}  // namespace anu::bench

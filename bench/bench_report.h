@@ -1,0 +1,65 @@
+// Machine-readable benchmark result emission (docs/ci.md).
+//
+// Every harness in bench/ — figure reproductions and google-benchmark
+// micros alike — emits one `BENCH_<name>.json` per run so the perf
+// trajectory is diffable across commits:
+//
+//   { "schema": "anu.bench", "schema_version": 1, "name": "gbench_sim",
+//     "git": "<describe>", "wall_time_s": ..., "events": ...,
+//     "events_per_sec": ..., "peak_rss_bytes": ... }
+//
+// `tools/bench_compare` diffs two of these (or two directories of them)
+// against per-metric thresholds; CI gates on it.
+//
+// Usage: construct a BenchReport first thing in main. It strips a
+// `--json-out <path>` argument from argv (so harnesses that don't parse
+// arguments stay oblivious) and also honors the ANU_BENCH_JSON_DIR
+// environment variable (writes $dir/BENCH_<name>.json), which is how
+// scripts/check.sh arms a whole bench sweep without touching per-target
+// flags. With neither set, the report is disarmed and costs nothing.
+// Destruction writes the file; events are whatever the harness counted via
+// add_events (0 when a harness has no natural unit).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace anu::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+class BenchReport {
+ public:
+  /// `argv[0]`'s basename becomes the benchmark name. Removes any
+  /// `--json-out <path>` pair from argc/argv.
+  BenchReport(int* argc, char** argv);
+  ~BenchReport();
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Whether a JSON destination was configured.
+  [[nodiscard]] bool armed() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Accumulates the harness's work unit (requests replayed, benchmark
+  /// iterations, ...) for the events_per_sec metric.
+  void add_events(std::uint64_t n) {
+    events_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Writes the document now (normally the destructor does). Returns false
+  /// on I/O failure (also reported on stderr); disarmed reports succeed.
+  bool write();
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> events_{0};
+  bool written_ = false;
+};
+
+}  // namespace anu::bench

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -18,7 +19,8 @@
 using namespace anu;
 using namespace anu::driver;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Figure 4 reproduction: server latency, DFSTrace-shaped trace\n");
   std::printf("(112,590 requests / 21 file sets / 60 min; servers 1,3,5,7,9;"
               " 2-min tuning)\n");
@@ -32,6 +34,7 @@ int main() {
     system.kind = kind;
     auto balancer = make_balancer(system, config.cluster.server_speeds.size());
     const auto result = run_experiment(config, workload, *balancer);
+    report.add_events(result.requests_completed);
     bench::print_latency_series(result, system_label(kind));
     std::printf("requests completed: %llu/%llu, aggregate latency %.3f s\n",
                 static_cast<unsigned long long>(result.requests_completed),

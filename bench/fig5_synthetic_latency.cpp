@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -20,7 +21,8 @@
 using namespace anu;
 using namespace anu::driver;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Figure 5 reproduction: server latency, synthetic workload\n");
   std::printf("(66,401 requests / 50 file sets / 200 min; servers 1,3,5,7,9;"
               " 2-min tuning)\n");
@@ -33,6 +35,7 @@ int main() {
     system.kind = kind;
     auto balancer = make_balancer(system, config.cluster.server_speeds.size());
     const auto result = run_experiment(config, workload, *balancer);
+    report.add_events(result.requests_completed);
     bench::print_latency_series(result, system_label(kind));
     std::printf("requests completed: %llu/%llu, aggregate latency %.3f s\n",
                 static_cast<unsigned long long>(result.requests_completed),

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -20,7 +21,8 @@
 using namespace anu;
 using namespace anu::driver;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport bench_report(&argc, argv);
   std::printf("Figure 6 reproduction: aggregated metrics, synthetic workload\n");
 
   const auto workload = paper_synthetic_workload();
@@ -39,6 +41,7 @@ int main() {
     system.kind = kind;
     auto balancer = make_balancer(system, config.cluster.server_speeds.size());
     const auto result = run_experiment(config, workload, *balancer);
+    bench_report.add_events(result.requests_completed);
 
     aggregate.add_row({system_label(kind),
                        format_double(result.aggregate.mean(), 3),

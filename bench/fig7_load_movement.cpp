@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -15,7 +16,8 @@
 using namespace anu;
 using namespace anu::driver;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Figure 7 reproduction: ANU load movement, synthetic workload\n");
   std::printf("(100 two-minute tuning rounds over 200 minutes)\n");
 
@@ -26,6 +28,7 @@ int main() {
   system.kind = SystemKind::kAnu;
   auto balancer = make_balancer(system, config.cluster.server_speeds.size());
   const auto result = run_experiment(config, workload, *balancer);
+  report.add_events(result.requests_completed);
 
   Table table({"round", "minute", "filesets_moved", "moved_weight_pct",
                "cumulative_moved", "cumulative_pct_workload"});

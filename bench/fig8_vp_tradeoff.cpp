@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -120,7 +121,8 @@ void sweep_at(double utilization) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Figure 8 reproduction: virtual-processor count tradeoff\n");
   sweep_at(0.55);
   sweep_at(0.65);

@@ -1,0 +1,43 @@
+// Custom google-benchmark main: identical to benchmark_main plus the
+// machine-readable BENCH_<name>.json artifact (bench_report.h). Events are
+// the summed benchmark iterations, so events_per_sec tracks aggregate
+// micro-benchmark throughput across commits.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_report.h"
+
+namespace {
+
+/// Console output as usual, while summing iterations for the report.
+class CountingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (!run.error_occurred) {
+        iterations_ += static_cast<std::uint64_t>(run.iterations);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] std::uint64_t iterations() const { return iterations_; }
+
+ private:
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CountingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.add_events(reporter.iterations());
+  benchmark::Shutdown();
+  return 0;
+}

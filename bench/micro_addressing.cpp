@@ -12,13 +12,15 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/anu_balancer.h"
 
 using namespace anu;
 using namespace anu::core;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Addressing microbenchmark: probe counts and placement balance\n");
 
   // --- probe-count distribution -----------------------------------------

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "balance/linear_hashing.h"
 #include "bench_util.h"
 #include "core/anu_balancer.h"
@@ -30,7 +31,8 @@ std::vector<workload::FileSet> make_file_sets(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Elasticity microbenchmark: re-partitioning and membership\n");
 
   // --- Fig. 3: adding the fifth server re-partitions without moving load.

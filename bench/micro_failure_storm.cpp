@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "cluster/failure_schedule.h"
 #include "driver/balancer_factory.h"
@@ -19,7 +20,8 @@
 using namespace anu;
 using namespace anu::driver;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Failure-storm resilience (section 4 failure/recovery claims)\n");
   std::printf("(synthetic paper workload; 6 fail/recover rounds of 8 min "
               "downtime each)\n");

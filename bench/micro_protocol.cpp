@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "driver/balancer_factory.h"
 #include "driver/paper.h"
@@ -73,7 +74,8 @@ RunResult run(std::size_t servers, double base_delay, double grace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Control-plane protocol study (section 4 message flows)\n");
 
   Table scale({"servers", "rounds", "messages", "bytes_total",

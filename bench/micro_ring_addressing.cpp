@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "balance/chord_ring.h"
 #include "balance/virtual_processor.h"
 #include "bench_util.h"
@@ -20,7 +21,8 @@
 
 using namespace anu;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Addressing-scheme comparison (section 5.4 + footnote 1)\n");
 
   constexpr std::size_t kServers = 5;

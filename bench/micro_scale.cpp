@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "core/anu_balancer.h"
@@ -17,7 +18,8 @@
 using namespace anu;
 using namespace anu::core;
 
-int main() {
+int main(int argc, char** argv) {
+  anu::bench::BenchReport report(&argc, argv);
   std::printf("Scale study: cluster sizes 5 .. 320\n");
 
   Table table({"servers", "partitions", "state_bytes", "mean_probes",

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Full verification: format check, configure, build, test (including the
-# obs-labeled observability suite), run every figure harness and
-# microbenchmark. This is what CI runs and what EXPERIMENTS.md numbers come
-# from.
+# Full verification: format check, configure, build, test (tiered: obs,
+# pool, chaos, then everything), run every figure harness and
+# microbenchmark. This is what CI runs (.github/workflows/ci.yml mirrors
+# these stages — docs/ci.md) and what EXPERIMENTS.md numbers come from.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Per-test wall-clock ceiling for every ctest invocation below. A hung
+# test (e.g. a pool deadlock regression) fails fast instead of wedging
+# the whole check.
+CTEST_TIMEOUT=600
 
 # Style gate. clang-format is optional in minimal containers; the check is
 # skipped (with a warning) when absent rather than silently diverging.
 if command -v clang-format >/dev/null 2>&1; then
   echo "=== clang-format --dry-run --Werror ==="
-  find src tests tools -name '*.h' -o -name '*.cpp' | \
+  find src tests tools bench -name '*.h' -o -name '*.cpp' | \
     xargs clang-format --dry-run --Werror
 else
   echo "warning: clang-format not found; skipping format check" >&2
@@ -19,24 +24,34 @@ fi
 cmake -B build -G Ninja
 cmake --build build
 
-# Observability suite first (fast, and the schema/doc contract fails
-# loudly), then the chaos suite (randomized fault scenarios must converge
-# and reconcile — docs/chaos.md), then everything.
-ctest --test-dir build -L obs --output-on-failure
-ctest --test-dir build -L chaos --output-on-failure
-ctest --test-dir build --output-on-failure
+# Tiered test run: observability suite first (fast, and the schema/doc
+# contract fails loudly), then the pool suite (determinism + batch-runner
+# acceptance checks), then the chaos suite (randomized fault scenarios
+# must converge and reconcile — docs/chaos.md), then everything.
+ctest --test-dir build -L obs --output-on-failure --timeout "$CTEST_TIMEOUT"
+ctest --test-dir build -L pool --output-on-failure --timeout "$CTEST_TIMEOUT"
+ctest --test-dir build -L chaos --output-on-failure --timeout "$CTEST_TIMEOUT"
+ctest --test-dir build --output-on-failure --timeout "$CTEST_TIMEOUT"
 
 # Sanitizer pass: the whole suite again under ASan+UBSan. Some toolchains
 # (or containers without the runtime libs) can't link it; skip with a
-# warning rather than failing the whole check.
-if cmake -B build-asan -G Ninja -DANU_SANITIZE=ON >/dev/null 2>&1 \
-   && cmake --build build-asan >/dev/null 2>&1; then
+# warning rather than failing the whole check — but keep the log so a
+# real build break is visible instead of silently discarded.
+ASAN_LOG=build-asan-configure.log
+if cmake -B build-asan -G Ninja -DANU_SANITIZE=ON >"$ASAN_LOG" 2>&1 \
+   && cmake --build build-asan >>"$ASAN_LOG" 2>&1; then
   echo "=== ASan+UBSan test pass ==="
-  ctest --test-dir build-asan --output-on-failure
+  ctest --test-dir build-asan --output-on-failure --timeout "$CTEST_TIMEOUT"
 else
   echo "warning: ASan+UBSan build failed; skipping sanitizer pass" >&2
+  echo "--- last 30 lines of $ASAN_LOG ---" >&2
+  tail -n 30 "$ASAN_LOG" >&2
 fi
 
+# Every figure harness and microbenchmark, each dropping its
+# machine-readable BENCH_<name>.json next to the binaries (bench_compare
+# diffs these against a baseline — docs/ci.md).
+export ANU_BENCH_JSON_DIR=build/bench
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     echo "=== $b ==="

@@ -61,7 +61,7 @@ double Xoshiro256::next_double() {
 std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
   ANU_REQUIRE(bound > 0);
   // Lemire's nearly-divisionless unbiased bounded generation.
-  using u128 = unsigned __int128;
+  __extension__ typedef unsigned __int128 u128;
   std::uint64_t x = next();
   u128 m = static_cast<u128>(x) * bound;
   auto lo = static_cast<std::uint64_t>(m);

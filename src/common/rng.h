@@ -37,6 +37,18 @@ class SplitMix64 {
   return z ^ (z >> 31);
 }
 
+/// Seed for task `index` of a batch keyed by `base`: two SplitMix64
+/// finalizer rounds with a golden-ratio offset between them, so adjacent
+/// task indices (and adjacent base seeds) land on uncorrelated streams.
+/// This is the repo-wide convention for fanned-out work — a multi-seed
+/// sweep derives every run's seed from (base_seed, task_index), which is
+/// what makes batch results independent of the parallelism level.
+[[nodiscard]] constexpr std::uint64_t substream_seed(std::uint64_t base,
+                                                     std::uint64_t index) {
+  return mix64(mix64(base ^ 0x9e3779b97f4a7c15ULL) +
+               0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna). The workhorse generator: fast,
 /// 256-bit state, passes BigCrush. Satisfies std::uniform_random_bit_engine.
 class Xoshiro256 {

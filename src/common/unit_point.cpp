@@ -22,7 +22,7 @@ double UnitPoint::to_double() const {
 UnitPoint UnitPoint::scaled(std::uint64_t num, std::uint64_t den) const {
   ANU_REQUIRE(den != 0);
   ANU_REQUIRE(num <= den);
-  using u128 = unsigned __int128;
+  __extension__ typedef unsigned __int128 u128;
   const u128 prod = static_cast<u128>(v_) * num + den / 2;
   return UnitPoint(static_cast<raw_type>(prod / den));
 }

@@ -1,53 +1,18 @@
 #include "driver/sweep.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include "common/thread_pool.h"
 
 namespace anu::driver {
 
 void run_parallel(const std::vector<std::function<void()>>& jobs,
                   std::size_t threads) {
-  if (jobs.empty()) return;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, jobs.size());
-  if (threads == 1) {
-    for (const auto& job : jobs) job();
-    return;
-  }
-  // A throwing job must not escape its worker thread (that would call
-  // std::terminate). The first exception is captured, the remaining jobs
-  // are abandoned, and the exception is rethrown on the joining thread —
-  // the same contract as the single-threaded path, minus the jobs already
-  // started on other workers.
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      for (;;) {
-        if (failed.load(std::memory_order_acquire)) return;
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs.size()) return;
-        try {
-          jobs[i]();
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_release);
-          return;
-        }
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
+  ThreadPool::global().run_batch(jobs, threads);
+}
+
+void run_indexed(std::size_t count,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t threads) {
+  ThreadPool::global().run_indexed(count, fn, threads);
 }
 
 }  // namespace anu::driver

@@ -1,11 +1,16 @@
 // Parallel parameter sweeps.
 //
 // Multi-configuration figures (Fig. 8's VP-count sweep, the tuner ablation)
-// run many *independent* simulations; each owns its Simulation, Cluster and
-// balancer, so the only shared state is the result slot each job writes —
-// pre-sized so no synchronization beyond the completion join is needed
-// (C++ Core Guidelines CP.20-ish: no naked sharing). Thread count defaults
-// to the hardware concurrency.
+// and multi-seed batches run many *independent* simulations; each owns its
+// Simulation, Cluster and balancer, so the only shared state is the result
+// slot each job writes — pre-sized so no synchronization beyond the batch
+// completion is needed (C++ Core Guidelines CP.20-ish: no naked sharing).
+//
+// Execution rides the persistent work-stealing pool in common/thread_pool.h
+// rather than spawning threads per call: `threads` caps the parallelism of
+// one batch, not the number of threads created. Results must not depend on
+// `threads`; derive any per-job randomness from substream_seed(base, index)
+// (common/rng.h) so a sweep is bit-identical at any parallelism level.
 #pragma once
 
 #include <cstddef>
@@ -14,26 +19,28 @@
 
 namespace anu::driver {
 
-/// Runs jobs[0..n) across up to `threads` workers; blocks until all finish.
-/// Each job must be independent (no shared mutable state between jobs).
-/// If a job throws, unstarted jobs are abandoned and the first exception is
-/// rethrown on the calling thread after all workers join.
+/// Runs jobs[0..n) with at most `threads`-way parallelism (0 = all cores);
+/// blocks until all finish. Each job must be independent (no shared mutable
+/// state between jobs). If a job throws, unstarted jobs are abandoned and
+/// the first exception is rethrown on the calling thread after the batch
+/// drains. threads == 1 runs inline, in index order.
 void run_parallel(const std::vector<std::function<void()>>& jobs,
                   std::size_t threads = 0);
 
+/// Runs fn(0..count) under the same contract, without materializing a job
+/// list. `fn` must be safe to call concurrently on distinct indices.
+void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn,
+                 std::size_t threads = 0);
+
 /// Maps `count` indices through `fn` in parallel and collects results in
-/// index order. `fn` must be safe to call concurrently on distinct indices.
+/// index order.
 template <class Result>
 std::vector<Result> parallel_map(std::size_t count,
                                  const std::function<Result(std::size_t)>& fn,
                                  std::size_t threads = 0) {
   std::vector<Result> results(count);
-  std::vector<std::function<void()>> jobs;
-  jobs.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    jobs.push_back([&results, &fn, i] { results[i] = fn(i); });
-  }
-  run_parallel(jobs, threads);
+  run_indexed(
+      count, [&results, &fn](std::size_t i) { results[i] = fn(i); }, threads);
   return results;
 }
 

@@ -1,0 +1,138 @@
+// Tests for the multi-seed batch runner: parallelism-independent
+// (byte-identical) results, aggregate math, seed derivation, and the
+// results-JSON schema (docs/ci.md).
+#include "driver/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace anu::driver {
+namespace {
+
+BatchConfig small_workload_batch(std::size_t seeds, std::size_t jobs) {
+  BatchConfig config;
+  config.seeds = seeds;
+  config.jobs = jobs;
+  config.base_seed = 42;
+  config.spec.synthetic.request_count = 600;
+  config.spec.synthetic.file_set_count = 12;
+  config.spec.synthetic.duration = 1200.0;
+  return config;
+}
+
+TEST(SubstreamSeed, DistinctAcrossIndicesAndBases) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ULL, 1ULL, 42ULL, ~0ULL}) {
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      seen.insert(substream_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 256u);  // no collisions across the grid
+}
+
+TEST(SubstreamSeed, PureFunction) {
+  EXPECT_EQ(substream_seed(7, 3), substream_seed(7, 3));
+  EXPECT_NE(substream_seed(7, 3), substream_seed(7, 4));
+  EXPECT_NE(substream_seed(7, 3), substream_seed(8, 3));
+}
+
+TEST(AggregateMetric, KnownValues) {
+  const auto a = aggregate_metric({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(a.n, 8u);
+  EXPECT_DOUBLE_EQ(a.mean, 5.0);
+  EXPECT_NEAR(a.stddev, 2.13809, 1e-4);  // sample (n-1) stddev
+  EXPECT_NEAR(a.ci95, 1.96 * a.stddev / std::sqrt(8.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min, 2.0);
+  EXPECT_DOUBLE_EQ(a.max, 9.0);
+}
+
+TEST(AggregateMetric, DegenerateSizes) {
+  EXPECT_EQ(aggregate_metric({}).n, 0u);
+  const auto one = aggregate_metric({3.5});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 3.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);  // undefined -> reported as 0
+  EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+}
+
+TEST(Batch, ResultsAreByteIdenticalAcrossJobs) {
+  // The acceptance contract behind `anu_sim --seeds N --jobs M --json-out`:
+  // the serialized artifact is a pure function of (template, seeds,
+  // base_seed) — the parallelism level must not change one byte.
+  const auto sequential =
+      run_experiment_batch(small_workload_batch(6, 1));
+  const auto parallel = run_experiment_batch(small_workload_batch(6, 8));
+  const auto cfg = small_workload_batch(6, 1);
+  EXPECT_EQ(batch_results_json(cfg, sequential).dump(),
+            batch_results_json(cfg, parallel).dump());
+}
+
+TEST(Batch, SeedsActuallyVaryTheRuns) {
+  const auto result = run_experiment_batch(small_workload_batch(4, 0));
+  ASSERT_EQ(result.per_seed.size(), 4u);
+  std::set<double> latencies;
+  for (const auto& m : result.per_seed) latencies.insert(m.mean_latency_s);
+  EXPECT_GT(latencies.size(), 1u);  // distinct seeds -> distinct runs
+  for (const auto& m : result.per_seed) {
+    EXPECT_GT(m.requests_completed, 0.0);
+    EXPECT_GT(m.mean_latency_s, 0.0);
+  }
+}
+
+TEST(Batch, JsonSchemaShape) {
+  const auto config = small_workload_batch(3, 0);
+  const auto result = run_experiment_batch(config);
+  const auto doc = batch_results_json(config, result);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->as_string(), "anu.batch_results");
+  EXPECT_EQ(doc.find("schema_version")->as_number(), kBatchSchemaVersion);
+  ASSERT_NE(doc.find("git"), nullptr);
+  EXPECT_EQ(doc.at("config", "mode")->as_string(), "workload");
+  EXPECT_EQ(doc.at("config", "seeds")->as_number(), 3);
+  // The parallelism cap is an execution detail and must NOT leak into the
+  // artifact — that is what makes --jobs unable to change the bytes.
+  EXPECT_EQ(doc.at("config", "jobs"), nullptr);
+  const obs::Json* mean_latency = doc.at("metrics", "mean_latency_s");
+  ASSERT_NE(mean_latency, nullptr);
+  for (const char* field : {"n", "mean", "stddev", "ci95", "min", "max"}) {
+    EXPECT_NE(mean_latency->find(field), nullptr) << field;
+  }
+  ASSERT_TRUE(doc.find("per_seed")->is_array());
+  EXPECT_EQ(doc.find("per_seed")->as_array().size(), 3u);
+  // Round-trips through the strict parser.
+  std::string error;
+  EXPECT_TRUE(obs::Json::parse(doc.dump(), &error).has_value()) << error;
+}
+
+TEST(Batch, ChaosModeAggregatesViolations) {
+  BatchConfig config;
+  config.mode = BatchConfig::Mode::kChaos;
+  config.seeds = 2;
+  config.base_seed = 9;
+  config.chaos.profile = ChaosProfile::kLight;
+  config.chaos.requests = 800;
+  config.chaos.file_sets = 10;
+  const auto result = run_experiment_batch(config);
+  ASSERT_EQ(result.per_seed.size(), 2u);
+  bool found = false;
+  for (const auto& [name, a] : result.metrics) {
+    if (name == "violations") {
+      found = true;
+      EXPECT_EQ(a.n, 2u);
+      EXPECT_EQ(a.max, 0.0) << "light chaos profile should converge";
+    }
+  }
+  EXPECT_TRUE(found);
+  // Chaos batches must also be parallelism-independent.
+  BatchConfig parallel = config;
+  parallel.jobs = 4;
+  EXPECT_EQ(batch_results_json(config, result).dump(),
+            batch_results_json(config, run_experiment_batch(parallel)).dump());
+}
+
+}  // namespace
+}  // namespace anu::driver

@@ -5,6 +5,7 @@
 //   anu_sim --compare <config-file>  # run all four systems, compare
 //   anu_sim --example                # print a commented example config
 //   anu_sim --chaos-seed <n> [--chaos-profile <p>]  # chaos run
+//   anu_sim --seeds <n> [--jobs <m>] [--json-out <f>] [config|chaos opts]
 //
 // Options:
 //   --trace-out <file>     write the event trace (.jsonl -> JSONL, else
@@ -15,6 +16,12 @@
 //                          invariants (docs/chaos.md); exits 1 on violation
 //   --chaos-profile <p>    light | heavy | partition | degrade | mixed
 //                          (default mixed)
+//   --seeds <n>            batch mode: fan the experiment out across n
+//                          derived seeds on the work-stealing pool and
+//                          report mean / 95% CI aggregates (docs/ci.md)
+//   --jobs <m>             batch parallelism cap (0 = all cores); never
+//                          affects results, only wall time
+//   --json-out <file>      batch mode: write the versioned results JSON
 //
 // The first two options override the matching `trace_out` / `manifest_out`
 // config keys. Schemas: docs/observability.md.
@@ -31,6 +38,7 @@
 #include <memory>
 
 #include "common/table.h"
+#include "driver/batch.h"
 #include "driver/chaos.h"
 #include "driver/config_file.h"
 #include "driver/telemetry.h"
@@ -281,6 +289,91 @@ int run_chaos_cli(std::uint64_t seed, ChaosProfile profile,
   return 0;
 }
 
+/// Default template for `--seeds` with no config file: the paper cluster
+/// under a scaled-down synthetic workload, sized so a 64-seed batch stays
+/// interactive at --jobs 1 (the determinism check in tests runs exactly
+/// that).
+SimSpec default_batch_spec() {
+  SimSpec spec;
+  spec.synthetic.request_count = 4000;
+  spec.synthetic.file_set_count = 25;
+  spec.synthetic.duration = 2400.0;
+  return spec;
+}
+
+int run_batch_cli(std::size_t seeds, std::size_t jobs,
+                  const std::string& json_out, const char* config_path,
+                  bool chaos, std::uint64_t chaos_seed,
+                  ChaosProfile chaos_profile) {
+  BatchConfig batch;
+  batch.seeds = seeds;
+  batch.jobs = jobs;
+  if (chaos) {
+    batch.mode = BatchConfig::Mode::kChaos;
+    batch.chaos.profile = chaos_profile;
+    batch.base_seed = chaos_seed;
+    std::printf("anu_sim --seeds: %zu chaos runs (profile %s), base seed "
+                "%llu, jobs %zu\n",
+                seeds, chaos_profile_name(chaos_profile),
+                static_cast<unsigned long long>(chaos_seed), jobs);
+  } else {
+    if (config_path) {
+      ConfigError error;
+      const auto spec = parse_sim_config_file(config_path, &error);
+      if (!spec) {
+        std::fprintf(stderr, "%s:%zu: %s\n", config_path, error.line,
+                     error.message.c_str());
+        return 1;
+      }
+      batch.spec = *spec;
+    } else {
+      batch.spec = default_batch_spec();
+    }
+    batch.base_seed = batch.spec.workload == SimSpec::WorkloadKind::kTrace
+                          ? batch.spec.trace.seed
+                          : batch.spec.synthetic.seed;
+    std::printf("anu_sim --seeds: %zu runs of system %s, base seed %llu, "
+                "jobs %zu\n",
+                seeds, system_label(batch.spec.system.kind).c_str(),
+                static_cast<unsigned long long>(batch.base_seed), jobs);
+  }
+
+  BatchResult result;
+  try {
+    result = run_experiment_batch(batch);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "batch failed: %s\n", e.what());
+    return 1;
+  }
+
+  Table table({"metric", "mean", "ci95", "stddev", "min", "max"});
+  for (const auto& [name, a] : result.metrics) {
+    table.add_row({name, format_double(a.mean, 4), format_double(a.ci95, 4),
+                   format_double(a.stddev, 4), format_double(a.min, 4),
+                   format_double(a.max, 4)});
+  }
+  table.print(std::cout);
+
+  if (!json_out.empty()) {
+    if (write_batch_results_file(json_out, batch, result)) {
+      std::printf("wrote batch results to %s\n", json_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+  }
+  // Chaos batches gate on convergence: any violation in any seed fails.
+  for (const auto& [name, a] : result.metrics) {
+    if (name == "violations" && a.max > 0.0) {
+      std::fprintf(stderr, "batch: convergence violations in at least one "
+                           "seed (max %.0f)\n",
+                   a.max);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int compare(const char* path) {
   ConfigError error;
   const auto spec = parse_sim_config_file(path, &error);
@@ -330,11 +423,17 @@ int usage(const char* argv0) {
                "       %s --compare <config-file>\n"
                "       %s --example\n"
                "       %s --chaos-seed <n> [--chaos-profile <p>] [options]\n"
+               "       %s --seeds <n> [--jobs <m>] [--json-out <file>]\n"
+               "          [<config-file> | --chaos-seed <n> "
+               "[--chaos-profile <p>]]\n"
                "options:\n"
                "  --trace-out <file>     write event trace (.jsonl or Chrome)\n"
                "  --manifest-out <file>  write per-run telemetry manifest\n"
-               "  --chaos-profile <p>    light|heavy|partition|degrade|mixed\n",
-               argv0, argv0, argv0, argv0);
+               "  --chaos-profile <p>    light|heavy|partition|degrade|mixed\n"
+               "  --seeds <n>            multi-seed batch; mean + 95%% CI\n"
+               "  --jobs <m>             batch parallelism cap (0 = cores)\n"
+               "  --json-out <file>      batch results JSON (docs/ci.md)\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -351,6 +450,10 @@ int main(int argc, char** argv) {
   bool chaos = false;
   std::uint64_t chaos_seed = 0;
   ChaosProfile chaos_profile = ChaosProfile::kMixed;
+  bool batch = false;
+  std::size_t seeds = 0;
+  std::size_t jobs = 0;
+  std::string json_out;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
@@ -367,6 +470,13 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       chaos_profile = *parsed;
+    } else if (std::strcmp(arg, "--seeds") == 0 && i + 1 < argc) {
+      batch = true;
+      seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else if (!config) {
@@ -375,6 +485,13 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (batch) {
+    if (seeds == 0) return usage(argv[0]);
+    if (chaos && config) return usage(argv[0]);
+    return run_batch_cli(seeds, jobs, json_out, config, chaos, chaos_seed,
+                         chaos_profile);
+  }
+  if (!json_out.empty() || jobs != 0) return usage(argv[0]);  // batch-only
   if (chaos) {
     if (config) return usage(argv[0]);  // chaos generates its own scenario
     return run_chaos_cli(chaos_seed, chaos_profile, options);
