@@ -28,7 +28,28 @@ void BM_EventDispatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_EventDispatch)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_EventDispatch)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_EventChurn(benchmark::State& state) {
+  // Schedule-then-cancel-half: the timer-churn pattern of FifoResource
+  // fail() and monitor re-arms. Exercises handle cancellation and slab
+  // slot recycling under a clustered (97 distinct times) calendar.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    std::vector<EventHandle> handles;
+    handles.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      handles.push_back(sim.schedule_at(
+          static_cast<double>(i % 97) + static_cast<double>(i) * 1e-4, [] {}));
+    }
+    for (std::size_t i = 0; i < batch; i += 2) handles[i].cancel();
+    benchmark::DoNotOptimize(sim.run_to_completion());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventChurn)->Arg(16384);
 
 void BM_EventScheduleInterleaved(benchmark::State& state) {
   // Each event schedules its successor: the arrival-cursor pattern the

@@ -35,12 +35,14 @@ BoundedPareto::BoundedPareto(double shape, double lo, double hi)
 }
 
 double BoundedPareto::sample(Xoshiro256& rng) const {
+  return from_uniform(rng.next_double());
+}
+
+double BoundedPareto::from_uniform(double u) const {
   // Inverse CDF of the truncated Pareto:
   //   F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a)
-  const double u = rng.next_double();
   const double ratio = lo_pow_ / hi_pow_;
-  const double x = lo_ / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha_);
-  return x;
+  return lo_ / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha_);
 }
 
 double BoundedPareto::mean() const {

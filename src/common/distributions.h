@@ -47,6 +47,11 @@ class BoundedPareto {
  public:
   BoundedPareto(double shape, double lo, double hi);
   double sample(Xoshiro256& rng) const;
+  /// The inversion transform behind sample(): maps a uniform u in [0, 1)
+  /// to a variate. Exposed so bulk callers can pair it with
+  /// Xoshiro256::fill_doubles and keep the stream bit-identical to
+  /// repeated sample() calls.
+  [[nodiscard]] double from_uniform(double u) const;
   /// Analytic mean of the truncated distribution.
   [[nodiscard]] double mean() const;
   [[nodiscard]] double shape() const { return alpha_; }

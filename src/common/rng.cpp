@@ -58,6 +58,31 @@ double Xoshiro256::next_double() {
   return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
+void Xoshiro256::fill_doubles(std::span<double> out) {
+  // Same recurrence and output function as next()/next_double(), with the
+  // state held in locals so the compiler keeps it in registers for the
+  // whole batch instead of loading and spilling `s_` per draw.
+  std::uint64_t s0 = s_[0];
+  std::uint64_t s1 = s_[1];
+  std::uint64_t s2 = s_[2];
+  std::uint64_t s3 = s_[3];
+  for (double& slot : out) {
+    const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+    slot = static_cast<double>(result >> 11) * 0x1.0p-53;
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
   ANU_REQUIRE(bound > 0);
   // Lemire's nearly-divisionless unbiased bounded generation.

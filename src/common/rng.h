@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace anu {
 
@@ -73,6 +74,12 @@ class Xoshiro256 {
 
   /// Uniform double in [0, 1).
   double next_double();
+
+  /// Fills `out` with uniform doubles in [0, 1): bit-identical to calling
+  /// next_double() out.size() times, but the generator state stays in
+  /// registers across the whole batch — the fast path for bulk variate
+  /// generation (e.g. workload arrival synthesis).
+  void fill_doubles(std::span<double> out);
 
   /// Uniform integer in [0, bound). bound must be > 0. Lemire's method.
   std::uint64_t next_below(std::uint64_t bound);

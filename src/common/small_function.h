@@ -1,0 +1,154 @@
+// Move-only callable with a wide small-buffer optimization.
+//
+// The discrete-event kernel stores one callback per scheduled event. With
+// std::function, any capture beyond the implementation's inline budget
+// (16 bytes on the toolchains we target) heap-allocates — at millions of
+// events per second that allocation dominates the dispatch cost. The
+// simulator's capture sizes are small but not *that* small: `this` plus a
+// couple of values, up to ~40 bytes across sim/, proto/ and driver/.
+// SmallFunction widens the inline buffer (48 bytes by default) so those
+// captures construct in place; larger ones still work through a heap
+// fallback. Move-only by design: the kernel never copies an event's
+// action, and move-only captures schedule without workarounds.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace anu {
+
+template <class Signature, std::size_t BufferBytes = 48>
+class SmallFunction;
+
+template <class R, class... Args, std::size_t BufferBytes>
+class SmallFunction<R(Args...), BufferBytes> {
+ public:
+  SmallFunction() = default;
+  /*implicit*/ SmallFunction(std::nullptr_t) {}  // NOLINT
+
+  template <class F, class D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, SmallFunction> &&
+                                 std::is_invocable_r_v<R, D&, Args...>,
+                             int> = 0>
+  /*implicit*/ SmallFunction(F&& f) {  // NOLINT
+    if constexpr (kInline<D>) {
+      ::new (buffer()) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (buffer()) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { take(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  /// Destroys the held callable, if any; *this becomes empty.
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buffer());
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buffer(), std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs into `to` and destroys `from` — one indirect call per
+    // relocation instead of separate move + destroy dispatches. Null means
+    // "memcpy the buffer": inline trivially-copyable callables (the common
+    // `this` + a few values capture) and the heap fallback's stored pointer
+    // both relocate bitwise, so their moves cost no indirect call at all.
+    // The slab in sim/simulation.h relocates every action twice (into its
+    // slot, then out to the dispatch frame) — this is its fast path.
+    void (*relocate)(void* from, void* to) noexcept;
+    // Null means trivially destructible: reset() just clears ops_.
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class D>
+  static constexpr bool kInline = sizeof(D) <= BufferBytes &&
+                                  alignof(D) <= alignof(std::max_align_t) &&
+                                  std::is_nothrow_move_constructible_v<D>;
+
+  template <class D>
+  static R inline_invoke(void* s, Args&&... args) {
+    return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+  }
+  template <class D>
+  static void inline_relocate(void* from, void* to) noexcept {
+    ::new (to) D(std::move(*static_cast<D*>(from)));
+    static_cast<D*>(from)->~D();
+  }
+  template <class D>
+  static void inline_destroy(void* s) noexcept {
+    static_cast<D*>(s)->~D();
+  }
+
+  // Trivially copyable implies trivially destructible, so a null relocate
+  // never leaves a source needing destruction.
+  template <class D>
+  static constexpr Ops kInlineOps = {
+      &inline_invoke<D>,
+      std::is_trivially_copyable_v<D> ? nullptr : &inline_relocate<D>,
+      std::is_trivially_destructible_v<D> ? nullptr : &inline_destroy<D>,
+  };
+
+  template <class D>
+  static R heap_invoke(void* s, Args&&... args) {
+    return (**static_cast<D**>(s))(std::forward<Args>(args)...);
+  }
+  template <class D>
+  static void heap_destroy(void* s) noexcept {
+    delete *static_cast<D**>(s);
+  }
+
+  // Heap relocation is a bitwise pointer move, hence relocate == nullptr.
+  template <class D>
+  static constexpr Ops kHeapOps = {
+      &heap_invoke<D>,
+      nullptr,
+      &heap_destroy<D>,
+  };
+
+  void take(SmallFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate == nullptr) {
+        std::memcpy(storage_, other.storage_, sizeof(storage_));
+      } else {
+        other.ops_->relocate(other.buffer(), buffer());
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] void* buffer() { return static_cast<void*>(storage_); }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte
+      storage_[BufferBytes < sizeof(void*) ? sizeof(void*) : BufferBytes];
+};
+
+}  // namespace anu

@@ -301,6 +301,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.requests_issued = issued;
   result.requests_completed = latency.total_served();
   result.events_executed = sim.events_executed();
+  result.queue = sim.queue_stats();
   result.tuning_rounds = rounds;
   return result;
 }

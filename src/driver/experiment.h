@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "metrics/movement_tracker.h"
 #include "obs/trace_sink.h"
+#include "sim/simulation.h"
 #include "workload/workload.h"
 
 namespace anu::driver {
@@ -96,6 +97,10 @@ struct ExperimentResult {
   std::uint64_t requests_completed = 0;
   std::uint64_t events_executed = 0;
   std::uint64_t tuning_rounds = 0;
+
+  /// Event-kernel counters (calendar + slab), emitted as the manifest's
+  /// "sim.queue" block so a run's kernel behavior is auditable post hoc.
+  sim::SimQueueStats queue;
 
   /// Control-plane message accounting — populated by protocol experiments,
   /// all-zero under the instantaneous balancer drivers. The counters

@@ -180,6 +180,7 @@ ExperimentResult run_protocol_experiment(
   result.requests_issued = issued;
   result.requests_completed = latency.total_served();
   result.events_executed = sim.events_executed();
+  result.queue = sim.queue_stats();
   result.tuning_rounds = protocol.updates_published();
   result.control_plane.messages_sent = network.messages_sent();
   result.control_plane.messages_delivered = network.messages_delivered();

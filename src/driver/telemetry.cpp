@@ -136,6 +136,17 @@ Json result_json(const ExperimentResult& r) {
       .set("events_executed", r.events_executed)
       .set("tuning_rounds", r.tuning_rounds)
       .set("shared_state_bytes", r.shared_state_bytes);
+  Json queue = Json::object();
+  queue.set("scheduled", r.queue.scheduled)
+      .set("executed", r.queue.executed)
+      .set("cancelled_skipped", r.queue.cancelled_skipped)
+      .set("max_pending", r.queue.max_pending)
+      .set("slab_high_water", r.queue.slab_high_water)
+      .set("max_simultaneous", r.queue.max_simultaneous)
+      .set("rung_spills", r.queue.rung_spills)
+      .set("top_transfers", r.queue.top_transfers)
+      .set("bottom_sorts", r.queue.bottom_sorts);
+  o.set("sim.queue", std::move(queue));
   o.set("aggregate", stats_json(r.aggregate));
   o.set("steady_state", stats_json(r.steady_state));
   o.set("latency_histogram", histogram_json(r.latency_histogram));

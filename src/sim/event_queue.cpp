@@ -1,0 +1,184 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace anu::sim {
+namespace {
+
+/// Buckets at or below this size are sorted straight into bottom instead of
+/// being refined into a child rung.
+constexpr std::size_t kSortThreshold = 64;
+/// Refinement stack cap: a bucket that is still large at this depth is
+/// sorted outright. Bounds the work per event to kMaxRungs scatters.
+constexpr std::size_t kMaxRungs = 8;
+/// Bucket-count cap per rung, so one enormous epoch cannot allocate an
+/// unbounded bucket array.
+constexpr std::size_t kMaxBuckets = 2048;
+/// Retained spare bucket vectors (capacity included), recycled across
+/// rungs so steady-state dispatch does not allocate.
+constexpr std::size_t kBucketPoolCap = 2 * kMaxBuckets;
+
+/// Descending (time, seq): back() of a sorted range is the minimum.
+/// Compares times as integer bit patterns — identical ordering for the
+/// non-negative times the queue accepts (push() normalizes -0.0), and
+/// branchless, so the sort's data-dependent comparisons never mispredict.
+bool later(const EventKey& a, const EventKey& b) {
+  const std::uint64_t ta = std::bit_cast<std::uint64_t>(a.time);
+  const std::uint64_t tb = std::bit_cast<std::uint64_t>(b.time);
+  return static_cast<int>(ta > tb) |
+         (static_cast<int>(ta == tb) & static_cast<int>(a.seq > b.seq));
+}
+
+/// Bucket index for `time` in a rung anchored at `start` with bucket width
+/// `width`, clamped to [0, nbuckets). Subtraction and division are
+/// monotone under IEEE rounding and the clamps preserve monotonicity, so
+/// for a fixed rung this is a non-decreasing pure function of `time`:
+/// bucket order can never invert time order, and equal times always share
+/// a bucket. Push and scatter both route through exactly this function,
+/// which is what makes the dequeue order exact (see event_queue.h).
+std::size_t bucket_index(SimTime time, SimTime start, double width,
+                         std::size_t nbuckets) {
+  const double offset = (time - start) / width;
+  if (!(offset > 0.0)) return 0;
+  std::size_t idx = static_cast<std::size_t>(offset);
+  if (offset >= static_cast<double>(nbuckets)) idx = nbuckets - 1;
+  return idx < nbuckets ? idx : nbuckets - 1;
+}
+
+}  // namespace
+
+void LadderQueue::push_ladder(const EventKey& key) {
+  // Walk the refinement stack outermost-in. Rung i+1 always refines bucket
+  // cur-1 of rung i, so an event that maps to that bucket descends; an
+  // event mapping to an earlier (fully dispatched) bucket joins bottom.
+  for (std::size_t i = 0; i < rungs_.size(); ++i) {
+    Rung& r = rungs_[i];
+    const std::size_t idx =
+        bucket_index(key.time, r.start, r.width, r.buckets.size());
+    if (idx >= r.cur) {
+      r.buckets[idx].push_back(key);
+      return;
+    }
+    if (idx + 1 == r.cur && i + 1 < rungs_.size()) continue;
+    break;
+  }
+  insert_bottom(key);
+}
+
+void LadderQueue::fill_bottom() {
+  while (bottom_.empty()) {
+    if (!rungs_.empty()) {
+      Rung& r = rungs_.back();
+      while (r.cur < r.buckets.size() && r.buckets[r.cur].empty()) ++r.cur;
+      if (r.cur == r.buckets.size()) {
+        // Exhausted refinement: recycle its bucket storage and resume the
+        // parent rung (or the top) on the next iteration.
+        for (auto& bucket : r.buckets) {
+          if (bucket_pool_.size() < kBucketPoolCap) {
+            bucket.clear();
+            bucket_pool_.push_back(std::move(bucket));
+          }
+        }
+        rungs_.pop_back();
+        continue;
+      }
+      std::vector<EventKey> bucket = std::move(r.buckets[r.cur]);
+      const SimTime bucket_start =
+          r.start + static_cast<double>(r.cur) * r.width;
+      const double bucket_width = r.width;
+      ++r.cur;
+      spill(bucket, bucket_start, bucket_width);
+      bucket.clear();
+      if (bucket_pool_.size() < kBucketPoolCap) {
+        bucket_pool_.push_back(std::move(bucket));
+      }
+      continue;
+    }
+    // Ladder drained: scatter a new epoch out of top. size_ > 0 and both
+    // bottom and rungs are empty, so top must hold everything.
+    ANU_REQUIRE(!top_.empty());
+    ++stats_.top_transfers;
+    SimTime lo = top_.front().time;
+    SimTime hi = lo;
+    for (const EventKey& key : top_) {
+      lo = std::min(lo, key.time);
+      hi = std::max(hi, key.time);
+    }
+    // Pushes from here on at or beyond the epoch maximum wait in top for
+    // the next transfer; they carry later seq values than anything now in
+    // the ladder, so the split preserves FIFO order at equal times.
+    top_start_ = hi;
+    spill(top_, lo, hi - lo);
+    top_.clear();
+  }
+}
+
+void LadderQueue::spill(std::vector<EventKey>& keys, SimTime start,
+                        double width) {
+  // Aim for ~kSortThreshold/2 events per bucket: the next fill then sorts
+  // each bucket directly (well under the threshold even with Poisson
+  // fluctuation) instead of refining again, and the rung allocates an
+  // order of magnitude fewer bucket vectors than one-bucket-per-event.
+  if (keys.size() <= kSortThreshold || rungs_.size() >= kMaxRungs) {
+    sort_into_bottom(keys);
+    return;
+  }
+  const std::size_t nbuckets =
+      std::min(keys.size() / (kSortThreshold / 2), kMaxBuckets);
+  const double child_width = width / static_cast<double>(nbuckets);
+  if (!(child_width > 0.0)) {
+    // Zero or denormal-underflow width: the range cannot be subdivided in
+    // floating point (e.g. every key shares one timestamp). Sort outright.
+    sort_into_bottom(keys);
+    return;
+  }
+  Rung r;
+  r.start = start;
+  r.width = child_width;
+  r.cur = 0;
+  r.buckets.reserve(nbuckets);
+  while (!bucket_pool_.empty() && r.buckets.size() < nbuckets) {
+    r.buckets.push_back(std::move(bucket_pool_.back()));
+    bucket_pool_.pop_back();
+  }
+  r.buckets.resize(nbuckets);
+  // Counting pass + exact reserve: one allocation per non-empty bucket
+  // (none at all once the pool is warm) instead of doubling growth.
+  scatter_count_.assign(nbuckets, 0);
+  for (const EventKey& key : keys) {
+    ++scatter_count_[bucket_index(key.time, start, child_width, nbuckets)];
+  }
+  for (std::size_t i = 0; i < nbuckets; ++i) {
+    if (scatter_count_[i] > r.buckets[i].capacity()) {
+      r.buckets[i].reserve(scatter_count_[i]);
+    }
+  }
+  for (const EventKey& key : keys) {
+    r.buckets[bucket_index(key.time, start, child_width, nbuckets)]
+        .push_back(key);
+  }
+  rungs_.push_back(std::move(r));
+  ++stats_.rung_spills;
+  stats_.max_rung_depth =
+      std::max<std::uint64_t>(stats_.max_rung_depth, rungs_.size());
+}
+
+void LadderQueue::sort_into_bottom(std::vector<EventKey>& keys) {
+  // Only ever called with an empty bottom (from fill_bottom). Sort in
+  // place and swap buffers: zero copies, and the capacities circulate
+  // (the old bottom buffer rides back to the caller's pool via `keys`).
+  std::sort(keys.begin(), keys.end(), later);
+  std::swap(bottom_, keys);
+  ++stats_.bottom_sorts;
+}
+
+void LadderQueue::insert_bottom(const EventKey& key) {
+  bottom_.insert(
+      std::upper_bound(bottom_.begin(), bottom_.end(), key, later), key);
+}
+
+}  // namespace anu::sim

@@ -1,23 +1,38 @@
 #include "sim/simulation.h"
 
 #include <limits>
+#include <utility>
 
 #include "common/assert.h"
 
 namespace anu::sim {
 
 void EventHandle::cancel() {
-  if (state_) *state_ = true;
+  if (sim_ == nullptr) return;
+  cancel_requested_ = true;
+  Simulation::Slot& slot = sim_->slot_ref(slot_);
+  // Generation check: only cancel the slot while our event still owns it.
+  // After the event fires the slot is recycled under a new generation, so
+  // a late cancel can never hit the slot's next tenant.
+  if (slot.generation == generation_) slot.cancelled = true;
 }
 
-bool EventHandle::cancelled() const { return state_ && *state_; }
+bool EventHandle::cancelled() const {
+  if (cancel_requested_) return true;
+  if (sim_ == nullptr) return false;
+  const Simulation::Slot& slot = sim_->slot_ref(slot_);
+  return slot.generation == generation_ && slot.cancelled;
+}
 
 EventHandle Simulation::schedule_at(SimTime when, Action action) {
   ANU_REQUIRE(when >= now_);
-  ANU_REQUIRE(action != nullptr);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Entry{when, next_seq_++, std::move(action), cancelled});
-  return EventHandle(std::move(cancelled));
+  ANU_REQUIRE(static_cast<bool>(action));
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slot_ref(slot);
+  s.action = std::move(action);
+  queue_.push(when, next_seq_++, slot);
+  if (queue_.size() > max_pending_) max_pending_ = queue_.size();
+  return EventHandle(this, slot, s.generation);
 }
 
 EventHandle Simulation::schedule_after(SimTime delay, Action action) {
@@ -26,22 +41,54 @@ EventHandle Simulation::schedule_after(SimTime delay, Action action) {
 }
 
 std::uint64_t Simulation::run_until(SimTime until) {
-  std::uint64_t ran = 0;
-  stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    const Entry& top = queue_.top();
-    if (top.time > until) break;
-    // Copy out before pop: the action may schedule, which mutates the queue.
-    Entry entry{top.time, top.seq, std::move(const_cast<Entry&>(top).action),
-                top.cancelled};
-    queue_.pop();
-    if (*entry.cancelled) continue;
-    now_ = entry.time;
-    entry.action();
-    ++ran;
-    ++executed_;
+  if (stop_requested_) {
+    // A stop requested before the run starts halts it before the first
+    // event: no events fire and the clock stays put. The request is
+    // consumed, so the next run proceeds normally.
+    stop_requested_ = false;
+    return 0;
   }
-  if (queue_.empty() || stop_requested_) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    const EventKey key = queue_.min();
+    if (key.time > until) break;
+    queue_.drop_min();
+    // Dispatch order is time order, not slot order, so the slab walk is
+    // effectively random once the calendar is large. Start pulling the
+    // next event's slot in while this one executes.
+    if (const EventKey* next = queue_.staged_min()) {
+      __builtin_prefetch(&slot_ref(next->slot));
+    }
+    Slot& slot = slot_ref(key.slot);
+    if (slot.cancelled) {
+      ++cancelled_skipped_;
+      release_slot(key.slot);
+      continue;
+    }
+    now_ = key.time;
+    if (key.time == last_dispatch_time_) {
+      ++simultaneous_run_;
+    } else {
+      last_dispatch_time_ = key.time;
+      simultaneous_run_ = 1;
+    }
+    if (simultaneous_run_ > max_simultaneous_) {
+      max_simultaneous_ = simultaneous_run_;
+    }
+    // Invoke straight from the slab: chunk addresses are stable, so a
+    // reentrant schedule_at — even one that grows the slab — cannot move
+    // the executing action. The slot is recycled only after it returns
+    // (a re-arming action therefore lands in a sibling slot, which the
+    // next dispatch frees right back).
+    slot.action();
+    release_slot(key.slot);
+    ++ran;
+    if (stop_requested_) break;
+  }
+  executed_ += ran;  // events_executed() is only read between runs
+  const bool stopped = stop_requested_;
+  stop_requested_ = false;
+  if (queue_.empty() || stopped) {
     // Clock still advances to the horizon so monitors reading now() at the
     // end of a bounded run see the full interval.
     if (until > now_ && until != std::numeric_limits<SimTime>::infinity()) {
@@ -55,6 +102,50 @@ std::uint64_t Simulation::run_until(SimTime until) {
 
 std::uint64_t Simulation::run_to_completion() {
   return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+SimQueueStats Simulation::queue_stats() const {
+  SimQueueStats stats;
+  stats.scheduled = next_seq_;
+  stats.executed = executed_;
+  stats.cancelled_skipped = cancelled_skipped_;
+  stats.max_pending = max_pending_;
+  stats.slab_high_water = slot_count_;
+  stats.max_simultaneous = max_simultaneous_;
+  const LadderStats& ladder = queue_.stats();
+  stats.rung_spills = ladder.rung_spills;
+  stats.top_transfers = ladder.top_transfers;
+  stats.bottom_sorts = ladder.bottom_sorts;
+  return stats;
+}
+
+std::uint32_t Simulation::acquire_slot() {
+  // No live-count or high-water tracking here: the free list is LIFO, so a
+  // fresh slot is carved exactly when every slot handed out so far is live
+  // — slot_count_ IS the slab's high-water mark.
+  std::uint32_t slot;
+  if (free_head_ != kNullSlot) {
+    slot = free_head_;
+    free_head_ = slot_ref(slot).next_free;
+  } else {
+    if (slot_count_ == slot_cap_) {
+      chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+      slot_cap_ += kSlotChunkSize;
+    }
+    slot = slot_count_++;
+  }
+  return slot;
+}
+
+void Simulation::release_slot(std::uint32_t slot) {
+  Slot& s = slot_ref(slot);
+  s.action.reset();
+  ++s.generation;  // invalidates every outstanding handle to this tenancy
+  // Cleared even on the post-invoke path: an action may cancel its own
+  // handle while running, and the flag must not leak to the next tenant.
+  s.cancelled = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
 }  // namespace anu::sim

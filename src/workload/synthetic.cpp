@@ -18,12 +18,15 @@ namespace {
 std::vector<SimTime> pareto_arrivals(std::size_t count, SimTime duration,
                                      const BoundedPareto& gap,
                                      Xoshiro256& rng) {
-  std::vector<SimTime> arrivals;
-  arrivals.reserve(count);
+  // Batched inversion: one bulk uniform fill, then transform + prefix-sum
+  // in place. Consumes exactly `count` draws in the same order as a
+  // sample() loop, so the stream (and every seeded workload) is unchanged.
+  std::vector<SimTime> arrivals(count);
+  rng.fill_doubles(arrivals);
   double t = 0.0;
-  for (std::size_t i = 0; i < count; ++i) {
-    t += gap.sample(rng);
-    arrivals.push_back(t);
+  for (SimTime& a : arrivals) {
+    t += gap.from_uniform(a);
+    a = t;
   }
   if (arrivals.empty()) return arrivals;
   // Rescale so the last arrival lands just inside the run.

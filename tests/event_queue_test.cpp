@@ -1,0 +1,326 @@
+// Differential tests for the ladder-queue event kernel.
+//
+// The ladder queue's ordering contract is exact — ascending (time, seq),
+// FIFO at equal times — and the rest of the tree leans on it for seeded
+// reproducibility. These tests check the contract two ways: the LadderQueue
+// against a sort of the same keys, and the full Simulation (slab, handles,
+// cancellation, clock rules) against a deliberately naive reference model
+// that stores pending events in a flat vector and min-scans per dispatch.
+// Both run over randomized operation sequences across many seeds; any
+// divergence in fired order, clocks, or counters is a kernel bug.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace anu::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LadderQueue vs a sorted copy of the same keys.
+
+struct RefKey {
+  SimTime time;
+  std::uint64_t seq;
+  std::uint32_t slot;
+};
+
+bool ref_before(const RefKey& a, const RefKey& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+/// Draws times from regimes that stress distinct queue paths: wide uniform
+/// spreads (top transfers + rung scatters), dense clusters (deep
+/// refinement), exact ties (FIFO + zero-width guard), and a far-future
+/// outlier mixed with near-term work (skewed epochs).
+SimTime draw_time(Xoshiro256& rng, double base) {
+  switch (rng.next_below(6)) {
+    case 0:
+      return base + rng.next_double() * 1e4;
+    case 1:
+      return base + rng.next_double() * 1e-6;
+    case 2:
+      return base + static_cast<double>(rng.next_below(4));  // integer ties
+    case 3:
+      return base;  // exact tie at the batch base
+    case 4:
+      return base + 1e7 * (1.0 + rng.next_double());  // far future
+    default:
+      return base + rng.next_double();
+  }
+}
+
+TEST(LadderQueue, MatchesSortedReferenceAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Xoshiro256 rng(seed);
+    LadderQueue queue;
+    std::vector<RefKey> reference;
+    std::uint64_t seq = 0;
+    double clock = 0.0;
+    // Alternate push bursts and pop bursts so pushes interleave with a
+    // partially drained ladder (the rung-descent and sorted-bottom-insert
+    // paths), not just a fresh queue.
+    for (int phase = 0; phase < 20; ++phase) {
+      const std::uint64_t pushes = rng.next_below(400);
+      for (std::uint64_t i = 0; i < pushes; ++i) {
+        const SimTime t = draw_time(rng, clock);
+        const auto slot = static_cast<std::uint32_t>(seq);
+        queue.push(t, seq, slot);
+        reference.push_back({t, seq, slot});
+        ++seq;
+      }
+      std::sort(reference.begin(), reference.end(), ref_before);
+      std::uint64_t pops = rng.next_below(300);
+      pops = std::min<std::uint64_t>(pops, queue.size());
+      for (std::uint64_t i = 0; i < pops; ++i) {
+        const RefKey expect = reference.front();
+        reference.erase(reference.begin());
+        const EventKey got = queue.pop();
+        ASSERT_EQ(got.time, expect.time) << "seed " << seed;
+        ASSERT_EQ(got.seq, expect.seq) << "seed " << seed;
+        ASSERT_EQ(got.slot, expect.slot) << "seed " << seed;
+        clock = got.time;  // pushes must never go behind the last pop
+      }
+      ASSERT_EQ(queue.size(), reference.size());
+    }
+    // Drain and check the tail.
+    while (!queue.empty()) {
+      const RefKey expect = reference.front();
+      reference.erase(reference.begin());
+      const EventKey got = queue.pop();
+      ASSERT_EQ(got.time, expect.time) << "seed " << seed;
+      ASSERT_EQ(got.seq, expect.seq) << "seed " << seed;
+    }
+    EXPECT_TRUE(reference.empty());
+  }
+}
+
+TEST(LadderQueue, MinIsStableAndDropMinPops) {
+  LadderQueue queue;
+  queue.push(2.0, 0, 0);
+  queue.push(1.0, 1, 1);
+  queue.push(1.0, 2, 2);
+  EXPECT_EQ(queue.min().seq, 1u);
+  EXPECT_EQ(queue.min().seq, 1u);  // min() is idempotent
+  queue.drop_min();
+  EXPECT_EQ(queue.min().seq, 2u);
+  queue.drop_min();
+  EXPECT_EQ(queue.min().time, 2.0);
+  queue.drop_min();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(LadderQueue, ManyTiedTimestampsStayFifo) {
+  // A whole epoch at one timestamp exercises the zero-width spill guard:
+  // the range cannot be subdivided, so everything must sort by seq alone.
+  LadderQueue queue;
+  for (std::uint64_t i = 0; i < 5000; ++i) queue.push(7.0, i, 0);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(queue.pop().seq, i);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Simulation vs a naive reference model, lockstep over random operations.
+//
+// The model mirrors Simulation's documented semantics only — never its
+// implementation: a flat vector of pending events min-scanned per dispatch,
+// with the same clock-advance rule for bounded runs.
+
+struct ModelEvent {
+  SimTime time;
+  std::uint64_t seq;
+  std::uint32_t id;
+  bool cancelled;
+};
+
+std::vector<std::pair<SimTime, std::uint32_t>> spawn_children(
+    std::uint32_t parent);
+
+class ModelSim {
+ public:
+  std::uint64_t schedule(SimTime when, std::uint32_t id) {
+    events_.push_back({when, next_seq_, id, false});
+    ++next_seq_;
+    return next_seq_ - 1;
+  }
+
+  void cancel(std::uint64_t seq) {
+    for (ModelEvent& ev : events_) {
+      if (ev.seq == seq) ev.cancelled = true;
+    }
+  }
+
+  /// Returns fired (id, time) pairs, matching Simulation::run_until's
+  /// dispatch order and clock rule. Fired events spawn children through
+  /// spawn_children — the same pure function the Simulation callbacks use.
+  std::vector<std::pair<std::uint32_t, SimTime>> run_until(SimTime until) {
+    std::vector<std::pair<std::uint32_t, SimTime>> fired;
+    for (;;) {
+      std::size_t best = events_.size();
+      for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (best == events_.size() ||
+            events_[i].time < events_[best].time ||
+            (events_[i].time == events_[best].time &&
+             events_[i].seq < events_[best].seq)) {
+          best = i;
+        }
+      }
+      if (best == events_.size()) break;
+      if (events_[best].time > until) break;
+      const ModelEvent ev = events_[best];
+      events_.erase(events_.begin() +
+                    static_cast<std::ptrdiff_t>(best));
+      if (ev.cancelled) {
+        ++cancelled_skipped_;
+        continue;
+      }
+      now_ = ev.time;
+      fired.emplace_back(ev.id, ev.time);
+      ++executed_;
+      for (const auto& [delay, child_id] : spawn_children(ev.id)) {
+        schedule(now_ + delay, child_id);
+      }
+    }
+    if (events_.empty()) {
+      if (until > now_ && until != std::numeric_limits<SimTime>::infinity()) {
+        now_ = until;
+      }
+    } else {
+      now_ = until;
+    }
+    return fired;
+  }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t cancelled_skipped() const {
+    return cancelled_skipped_;
+  }
+
+ private:
+  std::vector<ModelEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_skipped_ = 0;
+  SimTime now_ = 0.0;
+};
+
+/// Children an event spawns when it fires: a pure function of the parent
+/// id, so the Simulation callback and the model replay generate identical
+/// schedules without sharing state.
+std::vector<std::pair<SimTime, std::uint32_t>> spawn_children(
+    std::uint32_t parent) {
+  std::vector<std::pair<SimTime, std::uint32_t>> out;
+  const std::uint64_t h = mix64(parent);
+  if (parent >= 1u << 20) return out;  // bound the cascade depth
+  if ((h & 7) == 0) {
+    out.emplace_back(static_cast<double>((h >> 8) & 1023) * 1e-3,
+                     (parent << 2) | 1u);
+  }
+  if ((h & 15) == 1) {
+    out.emplace_back(0.0, (parent << 2) | 2u);  // child at now(): same-time
+    out.emplace_back(1.0 + static_cast<double>((h >> 16) & 255),
+                     (parent << 2) | 3u);
+  }
+  return out;
+}
+
+void run_differential_fuzz(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Simulation sim;
+  ModelSim model;
+
+  std::vector<std::pair<std::uint32_t, SimTime>> sim_fired;
+  // Handles for cancellation, parallel arrays on both sides.
+  std::vector<EventHandle> handles;
+  std::vector<std::uint64_t> model_seqs;
+
+  // In-callback behavior: record the firing, then schedule this id's
+  // children. Children recurse through the same callback.
+  struct Recorder;
+  struct Recorder {
+    Simulation& sim;
+    std::vector<std::pair<std::uint32_t, SimTime>>& fired;
+    void fire(std::uint32_t id) {
+      fired.emplace_back(id, sim.now());
+      for (const auto& [delay, child] : spawn_children(id)) {
+        std::uint32_t c = child;
+        Recorder self = *this;
+        sim.schedule_after(delay, [self, c]() mutable { self.fire(c); });
+      }
+    }
+  };
+  Recorder recorder{sim, sim_fired};
+
+  // Root ids are small, so roots can cascade: children take id
+  // parent*4 + k, and spawn_children stops the recursion once ids pass
+  // 2^20 (about ten generations deep from these roots).
+  std::uint32_t next_id = 1;
+  for (int phase = 0; phase < 12; ++phase) {
+    const std::uint64_t roots = rng.next_below(200);
+    for (std::uint64_t i = 0; i < roots; ++i) {
+      const SimTime t = draw_time(rng, sim.now());
+      const std::uint32_t id = next_id++;
+      handles.push_back(sim.schedule_at(t, [&recorder, id] {
+        recorder.fire(id);
+      }));
+      model_seqs.push_back(model.schedule(t, id));
+    }
+    // Cancel a random sample of everything ever scheduled; stale handles
+    // (already fired) must be harmless no-ops on both sides.
+    const std::uint64_t cancels = rng.next_below(40);
+    for (std::uint64_t i = 0; i < cancels && !handles.empty(); ++i) {
+      const std::uint64_t pick = rng.next_below(handles.size());
+      handles[pick].cancel();
+      model.cancel(model_seqs[pick]);
+    }
+    // Random horizon: sometimes exactly the current clock (fires only
+    // events at now), sometimes far ahead, occasionally to completion.
+    SimTime until;
+    const std::uint64_t kind = rng.next_below(4);
+    if (kind == 0) {
+      until = sim.now();
+    } else if (kind == 3) {
+      until = std::numeric_limits<SimTime>::infinity();
+    } else {
+      until = sim.now() + rng.next_double() * 2e4;
+    }
+    sim_fired.clear();
+    sim.run_until(until);
+    const auto model_fired = model.run_until(until);
+    ASSERT_EQ(sim_fired.size(), model_fired.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < sim_fired.size(); ++i) {
+      ASSERT_EQ(sim_fired[i].first, model_fired[i].first)
+          << "seed " << seed << " index " << i;
+      ASSERT_EQ(sim_fired[i].second, model_fired[i].second)
+          << "seed " << seed << " index " << i;
+    }
+    ASSERT_EQ(sim.now(), model.now()) << "seed " << seed;
+    ASSERT_EQ(sim.pending_events(), model.pending()) << "seed " << seed;
+    ASSERT_EQ(sim.events_executed(), model.executed()) << "seed " << seed;
+  }
+  const SimQueueStats stats = sim.queue_stats();
+  EXPECT_EQ(stats.executed, model.executed());
+  EXPECT_EQ(stats.cancelled_skipped, model.cancelled_skipped());
+}
+
+TEST(SimulationDifferentialFuzz, MatchesReferenceModelAcross64Seeds) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    run_differential_fuzz(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace anu::sim

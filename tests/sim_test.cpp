@@ -107,6 +107,87 @@ TEST(Simulation, EventsExecutedCounter) {
   EXPECT_EQ(sim.events_executed(), 5u);
 }
 
+TEST(Simulation, PreRunStopIsHonored) {
+  // Regression: a stop() issued outside a run used to be cleared silently
+  // at the top of run_until, so the next run proceeded as if the request
+  // never happened. It must instead halt that run before its first event.
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.stop();
+  EXPECT_EQ(sim.run_until(5.0), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);  // clock untouched by a stopped run
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // The request is consumed: the next run proceeds normally.
+  EXPECT_EQ(sim.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, SelfCancelDuringInvokeDoesNotLeakToNextTenant) {
+  // An action cancelling its own handle while running marks a slot that is
+  // recycled immediately afterwards; the flag must not carry over and
+  // silently cancel the slot's next tenant.
+  Simulation sim;
+  EventHandle self;
+  int fired = 0;
+  self = sim.schedule_at(1.0, [&] { self.cancel(); });
+  sim.run_to_completion();
+  sim.schedule_at(2.0, [&] { ++fired; });  // reuses the recycled slot
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, SlabSlotsAreRecycled) {
+  // Sequential schedule/run cycles must reuse one slot, not grow the slab.
+  Simulation sim;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(static_cast<double>(i), [] {});
+    sim.run_until(static_cast<double>(i));
+  }
+  EXPECT_EQ(sim.queue_stats().slab_high_water, 1u);
+}
+
+TEST(Simulation, QueueStatsAreConsistent) {
+  Simulation sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(sim.schedule_at(static_cast<double>(i % 10), [] {}));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    handles[static_cast<std::size_t>(i)].cancel();
+  }
+  sim.run_to_completion();
+  const SimQueueStats stats = sim.queue_stats();
+  EXPECT_EQ(stats.scheduled, 100u);
+  EXPECT_EQ(stats.executed, 50u);
+  EXPECT_EQ(stats.cancelled_skipped, 50u);
+  EXPECT_EQ(stats.max_pending, 100u);
+  EXPECT_EQ(stats.slab_high_water, 100u);
+  // Indices sharing a timestamp share its parity, so odd timestamps keep
+  // all ten of their events live after the even-index cancellations.
+  EXPECT_EQ(stats.max_simultaneous, 10u);
+  EXPECT_EQ(stats.executed + stats.cancelled_skipped, stats.scheduled);
+}
+
+TEST(Simulation, LargeSimultaneousBatchStaysFifo) {
+  // Thousands of events at one timestamp: the ladder cannot subdivide the
+  // range, so ordering rests entirely on the seq tie-break.
+  Simulation sim;
+  std::vector<int> order;
+  order.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  ASSERT_EQ(order.size(), 4096u);
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(sim.queue_stats().max_simultaneous, 4096u);
+}
+
 TEST(FifoResource, SingleJobLatencyIsDemandOverSpeed) {
   Simulation sim;
   FifoResource res(sim, 4.0);
