@@ -21,6 +21,16 @@ else
   echo "warning: clang-format not found; skipping format check" >&2
 fi
 
+# Docs gate: every relative link and #anchor in README.md and docs/
+# must resolve (scripts/check_doc_links.py; mirrored by the docs-links
+# CI job). python3 is optional in minimal containers.
+if command -v python3 >/dev/null 2>&1; then
+  echo "=== doc link check ==="
+  python3 scripts/check_doc_links.py
+else
+  echo "warning: python3 not found; skipping doc link check" >&2
+fi
+
 cmake -B build -G Ninja
 cmake --build build
 

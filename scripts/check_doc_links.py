@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the Markdown docs.
+
+Scans README.md plus every .md file under docs/ for Markdown links,
+verifies that relative targets exist on disk, and that fragment links
+(#anchors) name a real heading in the target file using GitHub's slug
+rules. External links (http/https/mailto) are not fetched.
+
+Usage: scripts/check_doc_links.py [root]
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link). Wired into scripts/check.sh and the docs-links CI step.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links: [text](target). Skips images' leading "!"; tolerates
+# titles: [text](target "title"). Reference-style links are rare in this
+# repo and intentionally unsupported.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, strip punctuation, spaces->dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading slugs in a file, with GitHub's -1/-2 dedup suffixes."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md: Path, root: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part).resolve()
+            rel = md.relative_to(root)
+            if not dest.exists():
+                errors.append(f"{rel}:{lineno}: broken link: {target}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if fragment.lower() not in anchor_cache[dest]:
+                    errors.append(f"{rel}:{lineno}: missing anchor: {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    files = sorted((root / "docs").glob("**/*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.insert(0, readme)
+    if not files:
+        print(f"no Markdown files found under {root}", file=sys.stderr)
+        return 1
+
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    for md in files:
+        errors.extend(check_file(md, root, anchor_cache))
+
+    for err in errors:
+        print(err)
+    checked = len(files)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} files", file=sys.stderr)
+        return 1
+    print(f"ok: {checked} Markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

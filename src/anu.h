@@ -11,7 +11,10 @@
 
 #include "balance/balancer.h"          // IWYU pragma: export
 #include "balance/chord_ring.h"        // IWYU pragma: export
+#include "balance/join_idle_queue.h"   // IWYU pragma: export
+#include "balance/jsq_d.h"             // IWYU pragma: export
 #include "balance/prescient.h"         // IWYU pragma: export
+#include "balance/redundancy_d.h"      // IWYU pragma: export
 #include "balance/simple_random.h"     // IWYU pragma: export
 #include "balance/virtual_processor.h" // IWYU pragma: export
 #include "cluster/cluster.h"           // IWYU pragma: export
@@ -25,6 +28,7 @@
 #include "core/tuner.h"                // IWYU pragma: export
 #include "driver/balancer_factory.h"   // IWYU pragma: export
 #include "driver/experiment.h"         // IWYU pragma: export
+#include "driver/matrix.h"             // IWYU pragma: export
 #include "driver/paper.h"              // IWYU pragma: export
 #include "hash/hash_family.h"          // IWYU pragma: export
 #include "metrics/consistency.h"       // IWYU pragma: export

@@ -4,6 +4,13 @@
 
 namespace anu::balance {
 
+DispatchDecision LoadBalancer::dispatch(FileSetId id, double demand) {
+  (void)demand;
+  DispatchDecision decision;
+  decision.add(server_for(id));
+  return decision;
+}
+
 RebalanceResult diff_placement(const std::vector<ServerId>& before,
                                const std::vector<ServerId>& after) {
   ANU_REQUIRE(before.size() == after.size());

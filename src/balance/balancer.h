@@ -1,16 +1,29 @@
-// The load-balancer interface shared by ANU randomization and the paper's
-// three comparison systems (§5.1): simple randomization, dynamic prescient,
-// and virtual processors.
+// The load-balancer interface shared by ANU randomization, the paper's
+// three comparison systems (§5.1) — simple randomization, dynamic
+// prescient, virtual processors — and the modern randomized-dispatch
+// baselines (JSQ(d), JIQ, redundancy-d; docs/strategies.md).
 //
-// A balancer owns the file-set -> server placement. The experiment driver
-// asks `server_for` on every request arrival, feeds per-server latency
-// reports each tuning interval, and calls `tune` at interval boundaries;
-// `tune` returns the file sets that moved so the driver can account load
-// movement (paper Fig. 7) and model movement cost.
+// Two families implement it:
+//
+//  * Placement strategies own the file-set -> server placement. The
+//    experiment driver asks `server_for` on every request arrival, feeds
+//    per-server latency reports each tuning interval, and calls `tune` at
+//    interval boundaries; `tune` returns the file sets that moved so the
+//    driver can account load movement (paper Fig. 7) and model movement
+//    cost.
+//
+//  * Dispatch strategies (`per_request()` == true) route every request
+//    individually through `dispatch`, reading live cluster state through
+//    the ClusterView the driver binds before the run. They own no
+//    placement, so `tune` never moves anything; membership callbacks only
+//    maintain the strategy's notion of the up-server set.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -47,6 +60,42 @@ struct OracleView {
   std::vector<double> server_speeds;    // indexed by ServerId; 0 = down
 };
 
+/// Read-only live cluster state exposed to dispatch strategies. The
+/// experiment driver implements it over cluster::Cluster; it is abstract
+/// here so src/balance stays below src/cluster in the layering.
+class ClusterView {
+ public:
+  virtual ~ClusterView() = default;
+  [[nodiscard]] virtual std::size_t server_count() const = 0;
+  [[nodiscard]] virtual bool is_up(ServerId id) const = 0;
+  /// Requests waiting plus in service (0 = idle).
+  [[nodiscard]] virtual std::size_t queue_length(ServerId id) const = 0;
+  /// Current speed factor (nominal or degraded); 0 for down servers.
+  [[nodiscard]] virtual double speed(ServerId id) const = 0;
+};
+
+/// One per-request routing decision. More than one target means "replicate
+/// to all of them" (redundancy-d); `cancel` picks the moment the losing
+/// replicas are killed.
+struct DispatchDecision {
+  static constexpr std::size_t kMaxTargets = 8;
+  enum class Cancel : std::uint8_t {
+    kOnStart,    // first replica to enter service kills the rest
+    kOnComplete  // first replica to finish kills the rest
+  };
+
+  std::array<ServerId, kMaxTargets> targets{};
+  std::uint32_t count = 0;
+  Cancel cancel = Cancel::kOnComplete;
+
+  void add(ServerId id) { targets.at(count++) = id; }
+};
+
+/// (name, value) counter pairs a strategy exports into the manifest's
+/// `balance` block (driver/telemetry). Names are per-strategy; see
+/// docs/strategies.md for each strategy's table.
+using BalanceCounters = std::vector<std::pair<std::string, std::uint64_t>>;
+
 class LoadBalancer {
  public:
   virtual ~LoadBalancer() = default;
@@ -81,6 +130,28 @@ class LoadBalancer {
   /// Bytes of state that must be replicated to every cluster node for
   /// addressing (paper §5.4's shared-state comparison).
   [[nodiscard]] virtual std::size_t shared_state_bytes() const = 0;
+
+  // --- per-request dispatch extension (docs/strategies.md) ---
+
+  /// True for dispatch strategies: the driver then routes every arrival
+  /// through dispatch() instead of the placement routing table, binds a
+  /// ClusterView before the run, and forwards idle notifications.
+  [[nodiscard]] virtual bool per_request() const { return false; }
+
+  /// Live cluster state, bound once before the run (dispatch strategies
+  /// only; the view outlives the run). Placement strategies ignore it.
+  virtual void bind_cluster(const ClusterView* view) { (void)view; }
+
+  /// Routes one request (dispatch strategies only). The default forwards
+  /// to the placement: a single target, server_for(id).
+  [[nodiscard]] virtual DispatchDecision dispatch(FileSetId id,
+                                                  double demand);
+
+  /// `server` just drained its queue while up (idle-token feed for JIQ).
+  virtual void on_server_idle(ServerId server) { (void)server; }
+
+  /// Strategy-specific counters for the manifest's `balance` block.
+  [[nodiscard]] virtual BalanceCounters counters() const { return {}; }
 };
 
 /// Computes the moves implied by an old and a new placement vector.

@@ -1,0 +1,109 @@
+#include "balance/dispatch_base.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+DispatchBalancer::DispatchBalancer(std::size_t server_count,
+                                   std::uint64_t seed)
+    : rng_(seed), up_mask_(server_count, true) {
+  ANU_REQUIRE(server_count > 0);
+  up_.reserve(server_count);
+  for (std::uint32_t s = 0; s < server_count; ++s) {
+    up_.push_back(ServerId(s));
+  }
+}
+
+void DispatchBalancer::register_file_sets(
+    const std::vector<workload::FileSet>& file_sets) {
+  (void)file_sets;  // no placement to compute
+}
+
+ServerId DispatchBalancer::server_for(FileSetId id) const {
+  (void)id;
+  ANU_REQUIRE(!up_.empty());
+  return up_.front();
+}
+
+RebalanceResult DispatchBalancer::on_server_failed(ServerId id) {
+  set_up(id, false);
+  return {};
+}
+
+RebalanceResult DispatchBalancer::on_server_recovered(ServerId id) {
+  set_up(id, true);
+  return {};
+}
+
+RebalanceResult DispatchBalancer::on_server_added(ServerId id) {
+  if (id.value() >= up_mask_.size()) up_mask_.resize(id.value() + 1, false);
+  set_up(id, true);
+  return {};
+}
+
+void DispatchBalancer::set_up(ServerId id, bool up) {
+  ANU_REQUIRE(id.value() < up_mask_.size());
+  if (up_mask_[id.value()] == up) return;
+  up_mask_[id.value()] = up;
+  if (up) {
+    up_.insert(std::lower_bound(up_.begin(), up_.end(), id,
+                                [](ServerId a, ServerId b) {
+                                  return a.value() < b.value();
+                                }),
+               id);
+  } else {
+    up_.erase(std::find(up_.begin(), up_.end(), id));
+  }
+  ANU_ENSURE(!up_.empty());  // the driver never fails the last server
+}
+
+double DispatchBalancer::speed_of(ServerId id) const {
+  return view_ != nullptr ? view_->speed(id) : 1.0;
+}
+
+std::size_t DispatchBalancer::queue_of(ServerId id) const {
+  return view_ != nullptr ? view_->queue_length(id) : 0;
+}
+
+ServerId DispatchBalancer::sample_uniform() {
+  ANU_REQUIRE(!up_.empty());
+  return up_[rng_.next_below(up_.size())];
+}
+
+ServerId DispatchBalancer::sample_weighted() {
+  ANU_REQUIRE(!up_.empty());
+  double max_speed = 0.0;
+  for (const ServerId s : up_) max_speed = std::max(max_speed, speed_of(s));
+  if (max_speed <= 0.0) return sample_uniform();
+  // Rejection sampling: uniform candidate accepted with probability
+  // speed / max_speed — O(1) expected draws, exact weighting, no O(k)
+  // prefix-sum walk per request.
+  for (;;) {
+    const ServerId s = up_[rng_.next_below(up_.size())];
+    if (rng_.next_double() * max_speed <= speed_of(s)) return s;
+  }
+}
+
+void DispatchBalancer::sample_distinct(std::uint32_t d, bool weighted,
+                                       DispatchDecision& out) {
+  ANU_REQUIRE(d >= 1 && d <= DispatchDecision::kMaxTargets);
+  if (up_.size() <= d) {
+    for (const ServerId s : up_) out.add(s);
+    return;
+  }
+  while (out.count < d) {
+    const ServerId s = weighted ? sample_weighted() : sample_uniform();
+    bool duplicate = false;
+    for (std::uint32_t i = 0; i < out.count; ++i) {
+      if (out.targets[i] == s) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.add(s);
+  }
+}
+
+}  // namespace anu::balance

@@ -1,0 +1,80 @@
+// Common machinery for per-request dispatch strategies (JSQ(d), JIQ,
+// redundancy-d — docs/strategies.md).
+//
+// A dispatch strategy owns no file-set placement: every arrival is routed
+// individually against live cluster state (queue lengths, idle tokens),
+// so tune() never moves anything and the membership callbacks only keep
+// the strategy's up-server set current. This base maintains that set,
+// owns the strategy RNG, and provides the uniform / speed-weighted
+// sampling primitives the concrete strategies share.
+#pragma once
+
+#include <cstdint>
+
+#include "balance/balancer.h"
+#include "common/rng.h"
+
+namespace anu::balance {
+
+class DispatchBalancer : public LoadBalancer {
+ public:
+  DispatchBalancer(std::size_t server_count, std::uint64_t seed);
+
+  [[nodiscard]] bool per_request() const final { return true; }
+  void bind_cluster(const ClusterView* view) final { view_ = view; }
+
+  void register_file_sets(
+      const std::vector<workload::FileSet>& file_sets) override;
+
+  /// Dispatch strategies keep no placement; this is the documented
+  /// fallback for code paths that still ask (first up server). The driver
+  /// never routes through it when per_request() is true.
+  [[nodiscard]] ServerId server_for(FileSetId id) const override;
+
+  void report(ServerId, const ServerReport&) override {}
+  RebalanceResult tune() override { return {}; }
+  RebalanceResult on_server_failed(ServerId id) override;
+  RebalanceResult on_server_recovered(ServerId id) override;
+  RebalanceResult on_server_added(ServerId id) override;
+
+  /// Dispatch needs the membership list replicated at every dispatcher
+  /// (like simple randomization): 4 bytes per server slot. Strategies with
+  /// extra shared state (JIQ's token pool) add to this.
+  [[nodiscard]] std::size_t shared_state_bytes() const override {
+    return up_mask_.size() * 4;
+  }
+
+ protected:
+  /// Up servers, ascending id. Maintained by the membership callbacks.
+  [[nodiscard]] const std::vector<ServerId>& up_servers() const {
+    return up_;
+  }
+  [[nodiscard]] bool is_up(ServerId id) const {
+    return id.value() < up_mask_.size() && up_mask_[id.value()];
+  }
+  /// Speed as the bound view reports it; 1.0 before a view is bound (unit
+  /// tests drive strategies without a cluster).
+  [[nodiscard]] double speed_of(ServerId id) const;
+  [[nodiscard]] std::size_t queue_of(ServerId id) const;
+
+  /// Uniform draw over the up-server set. Precondition: not empty.
+  [[nodiscard]] ServerId sample_uniform();
+  /// Speed-weighted draw (P(s) proportional to speed) via rejection
+  /// against the maximum up speed. Precondition: not empty.
+  [[nodiscard]] ServerId sample_weighted();
+  /// `d` distinct up servers into `out` (uniform or speed-weighted).
+  /// Fewer than `d` up servers returns them all, in id order.
+  void sample_distinct(std::uint32_t d, bool weighted,
+                       DispatchDecision& out);
+
+  const ClusterView* view_ = nullptr;
+  Xoshiro256 rng_;
+
+ private:
+  void set_up(ServerId id, bool up);
+
+  std::vector<ServerId> up_;
+  std::vector<bool> up_mask_;
+};
+
+}  // namespace anu::balance

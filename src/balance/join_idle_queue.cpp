@@ -1,0 +1,113 @@
+#include "balance/join_idle_queue.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+const char* jiq_policy_name(JiqConfig::TokenPolicy policy) {
+  switch (policy) {
+    case JiqConfig::TokenPolicy::kFifo: return "fifo";
+    case JiqConfig::TokenPolicy::kLifo: return "lifo";
+    case JiqConfig::TokenPolicy::kFastest: return "fastest";
+  }
+  return "?";
+}
+
+JoinIdleQueueBalancer::JoinIdleQueueBalancer(const JiqConfig& config,
+                                             std::size_t server_count)
+    : DispatchBalancer(server_count, config.seed),
+      config_(config),
+      pooled_(server_count, false) {
+  // Every server starts idle, so the pool starts full (in id order —
+  // deterministic, and what a cold dispatcher would accumulate).
+  for (std::uint32_t s = 0; s < server_count; ++s) add_token(ServerId(s));
+}
+
+void JoinIdleQueueBalancer::add_token(ServerId server) {
+  if (server.value() >= pooled_.size()) {
+    pooled_.resize(server.value() + 1, false);
+  }
+  if (pooled_[server.value()] || !is_up(server)) return;
+  pooled_[server.value()] = true;
+  tokens_.push_back(server);
+  ++tokens_issued_;
+}
+
+void JoinIdleQueueBalancer::drop_tokens(ServerId server) {
+  if (server.value() < pooled_.size() && pooled_[server.value()]) {
+    pooled_[server.value()] = false;
+    tokens_.erase(std::find(tokens_.begin(), tokens_.end(), server));
+  }
+}
+
+void JoinIdleQueueBalancer::on_server_idle(ServerId server) {
+  add_token(server);
+}
+
+RebalanceResult JoinIdleQueueBalancer::on_server_failed(ServerId id) {
+  drop_tokens(id);
+  return DispatchBalancer::on_server_failed(id);
+}
+
+RebalanceResult JoinIdleQueueBalancer::on_server_recovered(ServerId id) {
+  auto result = DispatchBalancer::on_server_recovered(id);
+  add_token(id);  // a recovered server comes back empty, hence idle
+  return result;
+}
+
+RebalanceResult JoinIdleQueueBalancer::on_server_added(ServerId id) {
+  auto result = DispatchBalancer::on_server_added(id);
+  add_token(id);
+  return result;
+}
+
+DispatchDecision JoinIdleQueueBalancer::dispatch(FileSetId id,
+                                                 double demand) {
+  (void)id;
+  (void)demand;
+  DispatchDecision decision;
+  while (!tokens_.empty()) {
+    std::size_t pick = 0;
+    switch (config_.policy) {
+      case JiqConfig::TokenPolicy::kFifo:
+        pick = 0;
+        break;
+      case JiqConfig::TokenPolicy::kLifo:
+        pick = tokens_.size() - 1;
+        break;
+      case JiqConfig::TokenPolicy::kFastest:
+        for (std::size_t i = 1; i < tokens_.size(); ++i) {
+          if (speed_of(tokens_[i]) > speed_of(tokens_[pick])) pick = i;
+        }
+        break;
+    }
+    const ServerId server = tokens_[pick];
+    tokens_.erase(tokens_.begin() +
+                  static_cast<std::ptrdiff_t>(pick));
+    pooled_[server.value()] = false;
+    // A token can go stale between issue and use: the server failed, or a
+    // fallback dispatch landed on it while its token still sat pooled.
+    if (!is_up(server) || queue_of(server) != 0) {
+      ++tokens_stale_;
+      continue;
+    }
+    ++idle_dispatches_;
+    decision.add(server);
+    return decision;
+  }
+  ++fallback_dispatches_;
+  decision.add(config_.weighted_fallback ? sample_weighted()
+                                         : sample_uniform());
+  return decision;
+}
+
+BalanceCounters JoinIdleQueueBalancer::counters() const {
+  return {{"idle_dispatches", idle_dispatches_},
+          {"fallback_dispatches", fallback_dispatches_},
+          {"tokens_issued", tokens_issued_},
+          {"tokens_stale", tokens_stale_}};
+}
+
+}  // namespace anu::balance

@@ -1,0 +1,78 @@
+// Join-Idle-Queue dispatch (Lu et al.), heterogeneity-aware per
+// Gardner et al. (PAPERS.md, arXiv:2006.13987).
+//
+// Servers push an idle token to the dispatcher the moment their queue
+// drains; an arrival grabs a token and goes to that (guaranteed-idle)
+// server, paying O(1) dispatcher work with no per-arrival queue probes.
+// When the token pool is empty the arrival falls back to a random server
+// — uniformly, or speed-weighted so the fallback at least respects
+// capacities (the heterogeneity-aware refinement).
+//
+// The token policy decides which idle server an arrival takes:
+//   fifo    — longest-idle first (the classic JIQ queue)
+//   lifo    — most-recently-idle first (cache-warm bias)
+//   fastest — highest-speed idle server first (heterogeneity-aware:
+//             idle fast servers are the most wasteful kind of idle)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "balance/dispatch_base.h"
+
+namespace anu::balance {
+
+struct JiqConfig {
+  enum class TokenPolicy : std::uint8_t { kFifo, kLifo, kFastest };
+  TokenPolicy policy = TokenPolicy::kFifo;
+  /// Busy fallback draws speed-weighted instead of uniform.
+  bool weighted_fallback = true;
+  std::uint64_t seed = 0x6a6971ULL;  // "jiq"
+};
+
+/// Names for config files / labels: fifo | lifo | fastest.
+[[nodiscard]] const char* jiq_policy_name(JiqConfig::TokenPolicy policy);
+
+class JoinIdleQueueBalancer final : public DispatchBalancer {
+ public:
+  JoinIdleQueueBalancer(const JiqConfig& config, std::size_t server_count);
+
+  [[nodiscard]] std::string name() const override { return "jiq"; }
+
+  [[nodiscard]] DispatchDecision dispatch(FileSetId id,
+                                          double demand) override;
+  void on_server_idle(ServerId server) override;
+
+  RebalanceResult on_server_failed(ServerId id) override;
+  RebalanceResult on_server_recovered(ServerId id) override;
+  RebalanceResult on_server_added(ServerId id) override;
+
+  /// Membership (base) plus the token pool: 4 bytes per pooled token.
+  [[nodiscard]] std::size_t shared_state_bytes() const override {
+    return DispatchBalancer::shared_state_bytes() + tokens_.size() * 4;
+  }
+
+  /// Manifest counters (docs/strategies.md): idle_dispatches,
+  /// fallback_dispatches, tokens_issued, tokens_stale.
+  [[nodiscard]] BalanceCounters counters() const override;
+
+  [[nodiscard]] std::size_t pool_size() const { return tokens_.size(); }
+  [[nodiscard]] const JiqConfig& config() const { return config_; }
+
+ private:
+  void add_token(ServerId server);
+  void drop_tokens(ServerId server);
+
+  JiqConfig config_;
+  /// Idle tokens in arrival order; kFifo pops the front, kLifo the back,
+  /// kFastest scans for the highest-speed entry. At most one token per
+  /// server (pooled_ guards duplicates).
+  std::deque<ServerId> tokens_;
+  std::vector<bool> pooled_;
+  std::uint64_t idle_dispatches_ = 0;
+  std::uint64_t fallback_dispatches_ = 0;
+  std::uint64_t tokens_issued_ = 0;
+  std::uint64_t tokens_stale_ = 0;
+};
+
+}  // namespace anu::balance

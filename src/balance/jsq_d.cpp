@@ -1,0 +1,64 @@
+#include "balance/jsq_d.h"
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+JsqDBalancer::JsqDBalancer(const JsqDConfig& config, std::size_t server_count)
+    : DispatchBalancer(server_count, config.seed), config_(config) {
+  ANU_REQUIRE(config.d >= 1 &&
+              config.d <= DispatchDecision::kMaxTargets);
+}
+
+DispatchDecision JsqDBalancer::dispatch(FileSetId id, double demand) {
+  (void)id;
+  (void)demand;
+  DispatchDecision sampled;
+  sample_distinct(config_.d, config_.speed_aware, sampled);
+  ++dispatches_;
+  samples_drawn_ += sampled.count;
+  if (sampled.count < config_.d || sampled.count == up_servers().size()) {
+    ++full_scans_;
+  }
+
+  // Rank the samples: expected drain time (queue/speed) when
+  // heterogeneity-aware, raw queue length otherwise. Ties go to the
+  // faster server, then the lower id — a total order, so the choice is
+  // independent of sample order.
+  ServerId best = sampled.targets[0];
+  double best_score = config_.speed_aware
+                          ? static_cast<double>(queue_of(best)) /
+                                speed_of(best)
+                          : static_cast<double>(queue_of(best));
+  for (std::uint32_t i = 1; i < sampled.count; ++i) {
+    const ServerId s = sampled.targets[i];
+    const double score =
+        config_.speed_aware
+            ? static_cast<double>(queue_of(s)) / speed_of(s)
+            : static_cast<double>(queue_of(s));
+    if (score < best_score) {
+      best = s;
+      best_score = score;
+    } else if (score == best_score) {
+      ++ties_broken_;
+      if (speed_of(s) > speed_of(best) ||
+          (speed_of(s) == speed_of(best) &&
+           s.value() < best.value())) {
+        best = s;
+      }
+    }
+  }
+
+  DispatchDecision decision;
+  decision.add(best);
+  return decision;
+}
+
+BalanceCounters JsqDBalancer::counters() const {
+  return {{"dispatches", dispatches_},
+          {"samples_drawn", samples_drawn_},
+          {"ties_broken", ties_broken_},
+          {"full_scans", full_scans_}};
+}
+
+}  // namespace anu::balance

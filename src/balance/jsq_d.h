@@ -1,0 +1,56 @@
+// Power-of-d-choices join-shortest-queue dispatch — JSQ(d).
+//
+// The classic randomized baseline the paper never compared against
+// (PAPERS.md: Mukhopadhyay & Mazumdar, arXiv:1311.5806): each arrival
+// samples d servers uniformly at random and joins the one with the
+// shortest queue. d = 2 already collapses the queue-length distribution
+// ("the power of two choices"); d = k degenerates to full JSQ.
+//
+// The heterogeneity-aware variant (speed_aware) adapts the scheme to
+// clusters with unequal service rates two ways at once: the d samples are
+// drawn with probability proportional to server speed, and the comparison
+// ranks servers by expected drain time (queue length / speed) instead of
+// raw queue length — a speed-9 server with 3 queued requests beats a
+// speed-1 server with 1.
+#pragma once
+
+#include <cstdint>
+
+#include "balance/dispatch_base.h"
+
+namespace anu::balance {
+
+struct JsqDConfig {
+  /// Servers sampled per request (1 = pure random, >= cluster = full JSQ).
+  std::uint32_t d = 2;
+  /// Heterogeneity-aware sampling + drain-time comparison (see above).
+  bool speed_aware = false;
+  std::uint64_t seed = 0x6a737164ULL;  // "jsqd"
+};
+
+class JsqDBalancer final : public DispatchBalancer {
+ public:
+  JsqDBalancer(const JsqDConfig& config, std::size_t server_count);
+
+  [[nodiscard]] std::string name() const override {
+    return config_.speed_aware ? "jsq-d-het" : "jsq-d";
+  }
+
+  [[nodiscard]] DispatchDecision dispatch(FileSetId id,
+                                          double demand) override;
+
+  /// Manifest counters (docs/strategies.md): dispatches, samples_drawn,
+  /// ties_broken, full_scans (rounds where d covered every up server).
+  [[nodiscard]] BalanceCounters counters() const override;
+
+  [[nodiscard]] const JsqDConfig& config() const { return config_; }
+
+ private:
+  JsqDConfig config_;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t samples_drawn_ = 0;
+  std::uint64_t ties_broken_ = 0;
+  std::uint64_t full_scans_ = 0;
+};
+
+}  // namespace anu::balance

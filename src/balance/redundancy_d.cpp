@@ -1,0 +1,40 @@
+#include "balance/redundancy_d.h"
+
+#include "common/assert.h"
+
+namespace anu::balance {
+
+const char* cancel_mode_name(RedundancyDConfig::CancelMode mode) {
+  switch (mode) {
+    case RedundancyDConfig::CancelMode::kOnStart: return "start";
+    case RedundancyDConfig::CancelMode::kOnComplete: return "complete";
+  }
+  return "?";
+}
+
+RedundancyDBalancer::RedundancyDBalancer(const RedundancyDConfig& config,
+                                         std::size_t server_count)
+    : DispatchBalancer(server_count, config.seed), config_(config) {
+  ANU_REQUIRE(config.d >= 1 &&
+              config.d <= DispatchDecision::kMaxTargets);
+}
+
+DispatchDecision RedundancyDBalancer::dispatch(FileSetId id, double demand) {
+  (void)id;
+  (void)demand;
+  DispatchDecision decision;
+  decision.cancel = config_.cancel == RedundancyDConfig::CancelMode::kOnStart
+                        ? DispatchDecision::Cancel::kOnStart
+                        : DispatchDecision::Cancel::kOnComplete;
+  sample_distinct(config_.d, config_.speed_aware, decision);
+  ++dispatches_;
+  replicas_requested_ += decision.count;
+  return decision;
+}
+
+BalanceCounters RedundancyDBalancer::counters() const {
+  return {{"dispatches", dispatches_},
+          {"replicas_requested", replicas_requested_}};
+}
+
+}  // namespace anu::balance

@@ -67,8 +67,11 @@ ServerId Cluster::add_server(double speed) {
   s->on_complete = [this](const Completion& c) {
     if (on_complete) on_complete(c);
   };
-  s->on_flush = [this](FileSetId fs, double demand) {
-    if (on_flush) on_flush(fs, demand);
+  s->on_flush = [this](FileSetId fs, double demand, std::uint64_t job_id) {
+    if (on_flush) on_flush(fs, demand, job_id);
+  };
+  s->on_idle = [this](ServerId idle) {
+    if (on_idle) on_idle(idle);
   };
   servers_.push_back(std::move(s));
   // Initial construction also lands here; a t=0 server_add per initial

@@ -17,8 +17,12 @@ Server::Server(sim::Simulation& simulation, ServerId id, double speed,
   ANU_REQUIRE(!cache_.enabled || cache_.warmup_requests > 0);
   resource_.on_flush = [this](const sim::Job& job) {
     if (on_flush) {
-      on_flush(FileSetId(static_cast<std::uint32_t>(job.tag)), job.demand);
+      on_flush(FileSetId(static_cast<std::uint32_t>(job.tag)), job.demand,
+               job.id);
     }
+  };
+  resource_.on_idle = [this] {
+    if (on_idle) on_idle(id_);
   };
 }
 
@@ -39,15 +43,38 @@ double Server::warmth(FileSetId file_set) const {
 void Server::evict(FileSetId file_set) { cache_hits_.erase(file_set.value()); }
 
 void Server::submit(FileSetId file_set, double demand, SimTime arrival) {
+  enqueue(file_set, demand, arrival, 0, nullptr);
+}
+
+void Server::submit_replica(FileSetId file_set, double demand,
+                            std::uint64_t job_id,
+                            std::function<void(SimTime)> on_start) {
+  ANU_REQUIRE(job_id != 0);
+  enqueue(file_set, demand, -1.0, job_id, std::move(on_start));
+}
+
+sim::CancelOutcome Server::cancel(std::uint64_t job_id) {
+  return resource_.cancel(job_id);
+}
+
+void Server::enqueue(FileSetId file_set, double demand, SimTime arrival,
+                     std::uint64_t job_id,
+                     std::function<void(SimTime)> on_start) {
   ANU_REQUIRE(is_up());
   sim::Job job;
   job.demand = demand * cache_factor(file_set);
   if (cache_.enabled) ++cache_hits_[file_set.value()];
   job.tag = file_set.value();
+  job.id = job_id;
   job.arrival = arrival;
+  if (on_start) {
+    job.on_start = [cb = std::move(on_start)](SimTime when, const sim::Job&) {
+      cb(when);
+    };
+  }
   job.on_complete = [this](SimTime when, const sim::Job& done) {
     const Completion c{id_, FileSetId(static_cast<std::uint32_t>(done.tag)),
-                       done.arrival, when};
+                       done.arrival, when, done.id};
     interval_.add(c.latency());
     lifetime_.add(c.latency());
     if (on_complete) on_complete(c);

@@ -45,6 +45,9 @@ struct Completion {
   FileSetId file_set;
   SimTime arrival;
   SimTime completion;
+  /// Nonzero for replicas of a redundant dispatch (submit_replica); the
+  /// driver uses it to find the replica group the winner belongs to.
+  std::uint64_t job_id = 0;
   [[nodiscard]] double latency() const { return completion - arrival; }
 };
 
@@ -68,6 +71,21 @@ class Server {
   /// original arrival time (used when a queued request migrates with its
   /// file set).
   void submit(FileSetId file_set, double demand, SimTime arrival = -1.0);
+
+  /// Enqueues one replica of a redundant dispatch (docs/strategies.md).
+  /// `job_id` (nonzero, unique across the run) identifies the replica for
+  /// cancel(); `on_start` fires when its service begins — possibly
+  /// synchronously inside this call when the server is idle — which is the
+  /// driver's cancel-on-start hook. The replica's Completion carries
+  /// job_id so the driver can settle the group.
+  void submit_replica(FileSetId file_set, double demand, std::uint64_t job_id,
+                      std::function<void(SimTime)> on_start);
+
+  /// Cancels the replica with nonzero id `job_id`: a waiting replica is
+  /// dropped, an in-service one is aborted (partial work still counts as
+  /// busy time — the price of redundancy). Cancelled replicas never reach
+  /// the latency statistics or on_complete.
+  sim::CancelOutcome cancel(std::uint64_t job_id);
 
   /// A queued (not yet started) request, as extracted on file-set moves.
   struct QueuedRequest {
@@ -125,11 +143,18 @@ class Server {
   /// Current warmth in [0, 1]: 0 = fully cold, 1 = fully warm.
   [[nodiscard]] double warmth(FileSetId file_set) const;
 
-  /// Observers (wired by the Cluster).
+  /// Observers (wired by the Cluster). on_flush reports the flushed job's
+  /// cancellation id (0 for plain requests) so the driver can tell a
+  /// stranded replica from a request it must re-dispatch. on_idle fires
+  /// when the queue drains while the server is up — the idle-token feed
+  /// for JIQ-style dispatchers.
   std::function<void(const Completion&)> on_complete;
-  std::function<void(FileSetId, double demand)> on_flush;
+  std::function<void(FileSetId, double demand, std::uint64_t job_id)> on_flush;
+  std::function<void(ServerId)> on_idle;
 
  private:
+  void enqueue(FileSetId file_set, double demand, SimTime arrival,
+               std::uint64_t job_id, std::function<void(SimTime)> on_start);
   [[nodiscard]] double cache_factor(FileSetId file_set) const;
 
   ServerId id_;

@@ -19,6 +19,15 @@ std::unique_ptr<balance::LoadBalancer> make_balancer(
                                                                  server_count);
     case SystemKind::kAnu:
       return std::make_unique<core::AnuBalancer>(config.anu, server_count);
+    case SystemKind::kJsqD:
+      return std::make_unique<balance::JsqDBalancer>(config.jsq,
+                                                     server_count);
+    case SystemKind::kJoinIdleQueue:
+      return std::make_unique<balance::JoinIdleQueueBalancer>(config.jiq,
+                                                              server_count);
+    case SystemKind::kRedundancyD:
+      return std::make_unique<balance::RedundancyDBalancer>(config.red,
+                                                            server_count);
   }
   ANU_ENSURE(false && "unknown system kind");
   return nullptr;
@@ -30,8 +39,32 @@ std::string system_label(SystemKind kind) {
     case SystemKind::kDynPrescient: return "dyn-prescient";
     case SystemKind::kVirtualProcessor: return "virtual-processor";
     case SystemKind::kAnu: return "anu";
+    case SystemKind::kJsqD: return "jsq-d";
+    case SystemKind::kJoinIdleQueue: return "jiq";
+    case SystemKind::kRedundancyD: return "redundancy-d";
   }
   return "?";
+}
+
+std::optional<SystemKind> parse_system_kind(std::string_view name) {
+  if (name == "anu") return SystemKind::kAnu;
+  if (name == "simple" || name == "simple-random" || name == "random") {
+    return SystemKind::kSimpleRandom;
+  }
+  if (name == "prescient" || name == "dyn-prescient") {
+    return SystemKind::kDynPrescient;
+  }
+  if (name == "vp" || name == "virtual-processor") {
+    return SystemKind::kVirtualProcessor;
+  }
+  if (name == "jsqd" || name == "jsq-d" || name == "jsq") {
+    return SystemKind::kJsqD;
+  }
+  if (name == "jiq") return SystemKind::kJoinIdleQueue;
+  if (name == "redundancy" || name == "redundancy-d" || name == "red") {
+    return SystemKind::kRedundancyD;
+  }
+  return std::nullopt;
 }
 
 }  // namespace anu::driver

@@ -63,6 +63,12 @@ SeedMetrics run_one(const BatchConfig& config, std::uint64_t seed) {
   SimSpec spec = config.spec;
   spec.synthetic.seed = seed;
   spec.trace.seed = seed;
+  // Dispatch strategies draw their own random numbers; give each run an
+  // independent stream decorrelated from the workload seed (distinct salts
+  // per strategy so jsqd/jiq/redundancy never share draws).
+  spec.system.jsq.seed = mix64(seed ^ 0x6a737164ULL);
+  spec.system.jiq.seed = mix64(seed ^ 0x6a6971ULL);
+  spec.system.red.seed = mix64(seed ^ 0x726564ULL);
   spec.experiment.trace = nullptr;
   ConfigError error;
   const auto workload = build_workload(spec, &error);

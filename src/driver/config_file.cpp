@@ -88,17 +88,64 @@ std::optional<SimSpec> parse_sim_config(std::istream& is, ConfigError* error) {
     } else if (key == "system") {
       std::string name;
       if (!want(name, "system name")) return std::nullopt;
-      if (name == "anu") {
-        spec.system.kind = SystemKind::kAnu;
-      } else if (name == "simple") {
-        spec.system.kind = SystemKind::kSimpleRandom;
-      } else if (name == "prescient") {
-        spec.system.kind = SystemKind::kDynPrescient;
-      } else if (name == "vp") {
-        spec.system.kind = SystemKind::kVirtualProcessor;
-      } else {
-        return fail(error, lineno, "unknown system: " + name);
+      const auto kind = parse_system_kind(name);
+      if (!kind) return fail(error, lineno, "unknown system: " + name);
+      spec.system.kind = *kind;
+    } else if (key == "jsq_d") {
+      std::uint32_t d;
+      if (!want(d, "1..8")) return std::nullopt;
+      if (d < 1 || d > balance::DispatchDecision::kMaxTargets) {
+        return fail(error, lineno, "jsq_d must be 1..8");
       }
+      spec.system.jsq.d = d;
+    } else if (key == "jsq_speed_aware") {
+      std::uint32_t v;
+      if (!want(v, "0|1")) return std::nullopt;
+      spec.system.jsq.speed_aware = v != 0;
+    } else if (key == "jiq_policy") {
+      std::string policy;
+      if (!want(policy, "fifo|lifo|fastest")) return std::nullopt;
+      if (policy == "fifo") {
+        spec.system.jiq.policy = balance::JiqConfig::TokenPolicy::kFifo;
+      } else if (policy == "lifo") {
+        spec.system.jiq.policy = balance::JiqConfig::TokenPolicy::kLifo;
+      } else if (policy == "fastest") {
+        spec.system.jiq.policy = balance::JiqConfig::TokenPolicy::kFastest;
+      } else {
+        return fail(error, lineno, "unknown jiq_policy: " + policy);
+      }
+    } else if (key == "jiq_weighted_fallback") {
+      std::uint32_t v;
+      if (!want(v, "0|1")) return std::nullopt;
+      spec.system.jiq.weighted_fallback = v != 0;
+    } else if (key == "red_d") {
+      std::uint32_t d;
+      if (!want(d, "1..8")) return std::nullopt;
+      if (d < 1 || d > balance::DispatchDecision::kMaxTargets) {
+        return fail(error, lineno, "red_d must be 1..8");
+      }
+      spec.system.red.d = d;
+    } else if (key == "red_cancel") {
+      std::string mode;
+      if (!want(mode, "start|complete")) return std::nullopt;
+      if (mode == "start") {
+        spec.system.red.cancel = balance::RedundancyDConfig::CancelMode::kOnStart;
+      } else if (mode == "complete") {
+        spec.system.red.cancel =
+            balance::RedundancyDConfig::CancelMode::kOnComplete;
+      } else {
+        return fail(error, lineno, "unknown red_cancel: " + mode);
+      }
+    } else if (key == "red_speed_aware") {
+      std::uint32_t v;
+      if (!want(v, "0|1")) return std::nullopt;
+      spec.system.red.speed_aware = v != 0;
+    } else if (key == "strategy_seed") {
+      std::uint64_t seed;
+      if (!want(seed, "integer seed")) return std::nullopt;
+      spec.system.jsq.seed = seed;
+      spec.system.jiq.seed = seed;
+      spec.system.red.seed = seed;
     } else if (key == "vp_per_server") {
       std::size_t v;
       if (!want(v, "count")) return std::nullopt;

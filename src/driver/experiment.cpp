@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/assert.h"
 #include "metrics/latency_tracker.h"
@@ -49,6 +50,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   weights.reserve(workload.file_set_count());
   for (const auto& fs : workload.file_sets()) weights.push_back(fs.weight);
   metrics::MovementTracker movement(weights);
+
+  // Live-state adapter for dispatch strategies (JSQ(d) / JIQ / redundancy):
+  // the balance layer sees queue lengths and speeds without depending on
+  // src/cluster.
+  struct LiveView final : balance::ClusterView {
+    explicit LiveView(cluster::Cluster& c) : cluster(c) {}
+    std::size_t server_count() const override { return cluster.server_count(); }
+    bool is_up(ServerId id) const override { return cluster.is_up(id); }
+    std::size_t queue_length(ServerId id) const override {
+      return cluster.server(id).queue_length();
+    }
+    double speed(ServerId id) const override {
+      return cluster.is_up(id) ? cluster.server(id).speed() : 0.0;
+    }
+    cluster::Cluster& cluster;
+  } live_view(cluster);
+  balancer.bind_cluster(&live_view);
+  const bool per_request = balancer.per_request();
+  cluster.on_idle = [&](ServerId s) { balancer.on_server_idle(s); };
 
   // Routing table: where requests actually go. With control_delay == 0 it
   // mirrors the balancer's placement instantly; otherwise a tuning round's
@@ -109,8 +129,138 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     return view;
   };
 
+  // Replica races for redundancy dispatch. Each multi-target decision forms
+  // a group; the first replica to start (cancel-on-start) or complete
+  // (cancel-on-complete) cancels its siblings through the cluster's cancel
+  // handles, so exactly one completion per group reaches the latency stats.
+  // A replica stranded on a failing server is dropped from its group, and a
+  // group that loses every live replica re-dispatches the request.
+  struct ReplicaManager {
+    struct Replica {
+      ServerId server;
+      std::uint64_t id = 0;
+      bool active = false;
+    };
+    struct Group {
+      FileSetId fs;
+      double demand = 0.0;
+      balance::DispatchDecision::Cancel mode =
+          balance::DispatchDecision::Cancel::kOnComplete;
+      bool claimed = false;
+      std::vector<Replica> replicas;
+    };
+
+    cluster::Cluster& cluster;
+    std::unordered_map<std::uint64_t, Group> groups = {};
+    std::unordered_map<std::uint64_t, std::uint64_t> group_of = {};  // ->gid
+    std::uint64_t next_id = 1;  // job ids and group ids share one counter
+    std::function<void(FileSetId, double)> redispatch = nullptr;
+    std::uint64_t submitted = 0;
+    std::uint64_t cancelled_queued = 0;
+    std::uint64_t cancelled_in_service = 0;
+    std::uint64_t elided = 0;   // never submitted: a sibling already started
+    std::uint64_t rescued = 0;  // all replicas lost to failures, re-dispatched
+
+    void cancel_losers(Group& group, std::uint64_t winner) {
+      for (Replica& rep : group.replicas) {
+        if (!rep.active || rep.id == winner) continue;
+        switch (cluster.server(rep.server).cancel(rep.id)) {
+          case sim::CancelOutcome::kQueued: ++cancelled_queued; break;
+          case sim::CancelOutcome::kInService: ++cancelled_in_service; break;
+          case sim::CancelOutcome::kNotFound: break;
+        }
+        rep.active = false;
+        group_of.erase(rep.id);
+      }
+    }
+    void on_start(std::uint64_t id) {
+      const auto it = group_of.find(id);
+      if (it == group_of.end()) return;
+      Group& group = groups.at(it->second);
+      if (group.mode != balance::DispatchDecision::Cancel::kOnStart) return;
+      group.claimed = true;
+      cancel_losers(group, id);
+    }
+    void on_complete(std::uint64_t id) {
+      const auto it = group_of.find(id);
+      if (it == group_of.end()) return;
+      const std::uint64_t gid = it->second;
+      cancel_losers(groups.at(gid), id);
+      group_of.erase(id);
+      groups.erase(gid);
+    }
+    void on_lost(std::uint64_t id) {
+      const auto it = group_of.find(id);
+      if (it == group_of.end()) return;
+      const std::uint64_t gid = it->second;
+      Group& group = groups.at(gid);
+      group_of.erase(id);
+      bool any_active = false;
+      for (Replica& rep : group.replicas) {
+        if (rep.id == id) rep.active = false;
+        any_active = any_active || rep.active;
+      }
+      if (any_active) return;
+      const FileSetId fs = group.fs;
+      const double demand = group.demand;
+      groups.erase(gid);
+      ++rescued;
+      redispatch(fs, demand);
+    }
+    void submit(const balance::DispatchDecision& decision, FileSetId fs,
+                double demand, obs::TraceSink* trace, SimTime now) {
+      const std::uint64_t gid = next_id++;
+      Group group;
+      group.fs = fs;
+      group.demand = demand;
+      group.mode = decision.cancel;
+      group.replicas.resize(decision.count);
+      for (std::uint32_t i = 0; i < decision.count; ++i) {
+        group.replicas[i].server = decision.targets[i];
+        group.replicas[i].id = next_id++;
+      }
+      groups.emplace(gid, std::move(group));
+      for (std::uint32_t i = 0; i < decision.count; ++i) {
+        // Re-fetch each iteration: submit_replica can fire on_start
+        // synchronously (idle server), which claims the group.
+        Group& g = groups.at(gid);
+        if (g.claimed) {
+          ++elided;
+          continue;
+        }
+        Replica& rep = g.replicas[i];
+        rep.active = true;
+        group_of[rep.id] = gid;
+        ++submitted;
+        if (trace) {
+          trace->emit(now, obs::EventType::kRequestIssue, fs.value(),
+                      rep.server.value(), 0, demand);
+        }
+        const std::uint64_t rid = rep.id;
+        cluster.server(rep.server)
+            .submit_replica(fs, demand, rid,
+                            [this, rid](SimTime) { on_start(rid); });
+      }
+    }
+  } replicas{cluster};
+
   std::uint64_t issued = 0;
-  auto dispatch = [&](FileSetId fs, double demand) {
+  std::function<void(FileSetId, double)> dispatch = [&](FileSetId fs,
+                                                        double demand) {
+    if (per_request) {
+      const balance::DispatchDecision decision = balancer.dispatch(fs, demand);
+      ANU_REQUIRE(decision.count >= 1);
+      if (decision.count == 1) {
+        if (trace) {
+          trace->emit(sim.now(), obs::EventType::kRequestIssue, fs.value(),
+                      decision.targets[0].value(), 0, demand);
+        }
+        cluster.submit(decision.targets[0], fs, demand);
+      } else {
+        replicas.submit(decision, fs, demand, trace, sim.now());
+      }
+      return;
+    }
     const ServerId target = routing[fs.value()];
     double extra = 0.0;
     std::swap(extra, pending_penalty[fs.value()]);
@@ -120,10 +270,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     }
     cluster.submit(target, fs, demand + extra);
   };
+  replicas.redispatch = [&dispatch](FileSetId fs, double demand) {
+    dispatch(fs, demand);
+  };
 
   RunningStats steady_state;
   LogHistogram histogram;
   cluster.on_complete = [&](const cluster::Completion& c) {
+    if (c.job_id != 0) replicas.on_complete(c.job_id);
     latency.observe(c);
     histogram.add(c.latency());
     if (c.completion >= horizon * 0.5) steady_state.add(c.latency());
@@ -132,19 +286,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                   c.file_set.value(), c.server.value(), 0, c.latency());
     }
   };
-  // Requests stranded on a failing server re-dispatch through the (already
-  // updated) placement.
-  cluster.on_flush = [&](FileSetId fs, double demand) {
+  // Requests stranded on a failing server re-dispatch: plain requests go
+  // back through dispatch (placement is already updated); replicas are
+  // dropped from their race and only re-dispatched when none survive.
+  cluster.on_flush = [&](FileSetId fs, double demand, std::uint64_t job_id) {
+    if (job_id != 0) {
+      replicas.on_lost(job_id);
+      return;
+    }
     dispatch(fs, demand);
   };
 
   // Initial placement: prescient systems see interval 0; ANU and simple
-  // randomization start blind (§4/§5.1).
+  // randomization start blind (§4/§5.1). Dispatch strategies route each
+  // arrival live and never consult the routing table.
   balancer.set_oracle(oracle_for(0));
   balancer.register_file_sets(workload.file_sets());
   routing.resize(workload.file_set_count());
-  for (std::uint32_t fs = 0; fs < workload.file_set_count(); ++fs) {
-    routing[fs] = balancer.server_for(FileSetId(fs));
+  if (!per_request) {
+    for (std::uint32_t fs = 0; fs < workload.file_set_count(); ++fs) {
+      routing[fs] = balancer.server_for(FileSetId(fs));
+    }
   }
 
   // Arrival cursor: one in-flight event that submits request i and arms
@@ -188,8 +350,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     movement.record(now, result);
     apply_moves(result, /*immediate=*/false);
 
+    if (trace) {
+      const auto& round = movement.rounds().back();
+      trace->emit(now, obs::EventType::kTuningRound,
+                  static_cast<std::uint32_t>(rounds),
+                  static_cast<std::uint32_t>(round.moved), 0,
+                  round.moved_weight, round.cumulative_pct);
+    }
     // Sample the assigned-weight share per server (the share trace of
-    // ExperimentResult::shares_over_time).
+    // ExperimentResult::shares_over_time). Dispatch strategies have no
+    // placement to sample.
+    if (per_request) return;
     ExperimentResult::ShareSample sample;
     sample.when = now;
     sample.share.assign(cluster.server_count(), 0.0);
@@ -203,11 +374,6 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       for (double& s : sample.share) s /= total_weight;
     }
     if (trace) {
-      const auto& round = movement.rounds().back();
-      trace->emit(now, obs::EventType::kTuningRound,
-                  static_cast<std::uint32_t>(rounds),
-                  static_cast<std::uint32_t>(round.moved), 0,
-                  round.moved_weight, round.cumulative_pct);
       for (std::uint32_t s = 0; s < sample.share.size(); ++s) {
         trace->emit(now, obs::EventType::kRegionRetune, s, 0, 0,
                     sample.share[s]);
@@ -229,9 +395,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
           // With control_delay, routing may lag the balancer and still pin
           // a file set to the failing server the balancer never saw it on;
           // sweep every such entry onto the balancer's current placement.
-          for (std::uint32_t fs = 0; fs < routing.size(); ++fs) {
-            if (routing[fs] == event.server) {
-              routing[fs] = balancer.server_for(FileSetId(fs));
+          if (!per_request) {
+            for (std::uint32_t fs = 0; fs < routing.size(); ++fs) {
+              if (routing[fs] == event.server) {
+                routing[fs] = balancer.server_for(FileSetId(fs));
+              }
             }
           }
           cluster.fail_server(event.server);
@@ -303,6 +471,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.events_executed = sim.events_executed();
   result.queue = sim.queue_stats();
   result.tuning_rounds = rounds;
+  result.balance.strategy = std::string(balancer.name());
+  result.balance.per_request = per_request;
+  result.balance.counters = balancer.counters();
+  if (replicas.submitted > 0) {
+    result.balance.counters.emplace_back("replicas_submitted",
+                                         replicas.submitted);
+    result.balance.counters.emplace_back("replicas_cancelled_queued",
+                                         replicas.cancelled_queued);
+    result.balance.counters.emplace_back("replicas_cancelled_in_service",
+                                         replicas.cancelled_in_service);
+    result.balance.counters.emplace_back("replicas_elided", replicas.elided);
+    result.balance.counters.emplace_back("replicas_rescued", replicas.rescued);
+  }
   return result;
 }
 

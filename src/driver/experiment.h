@@ -102,6 +102,21 @@ struct ExperimentResult {
   /// "sim.queue" block so a run's kernel behavior is auditable post hoc.
   sim::SimQueueStats queue;
 
+  /// Strategy identity + per-strategy counters, emitted as the manifest's
+  /// "balance" block (driver/telemetry; tables in docs/strategies.md).
+  /// For redundancy dispatch the driver appends its replica-race counters
+  /// (replicas_submitted / _cancelled_queued / _cancelled_in_service /
+  /// _elided / _rescued) to the strategy's own.
+  struct BalanceStats {
+    std::string strategy;
+    /// True when requests were routed per-request (dispatch strategies)
+    /// rather than through a tuned placement; such runs have no
+    /// shares_over_time samples and never move file sets.
+    bool per_request = false;
+    balance::BalanceCounters counters;
+  };
+  BalanceStats balance;
+
   /// Control-plane message accounting — populated by protocol experiments,
   /// all-zero under the instantaneous balancer drivers. The counters
   /// reconcile (docs/chaos.md): delivered + dropped + in-flight-at-horizon

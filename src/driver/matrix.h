@@ -1,0 +1,121 @@
+// The heterogeneity scenario matrix: speed profiles x cluster sizes x load
+// levels x strategies, each cell a full multi-seed batch.
+//
+// The paper evaluates on one 5-server cluster shape (§5.1); the matrix
+// generalizes that into a paired sweep so every strategy — the paper's four
+// systems plus the randomized-dispatch baselines (docs/strategies.md) —
+// faces the exact same workloads in every cell:
+//
+//   * every cell derives its per-run seeds from the same base_seed, so
+//     strategy A vs strategy B in one scenario is a paired comparison on
+//     identical arrival sequences;
+//   * workload size scales with the cluster (requests_per_server,
+//     file_sets_per_server), so a 20-server cell is not just a 5-server
+//     workload spread thin;
+//   * cluster capacity feeds the generator's utilization target, so "load
+//     0.75" means the same thing on every speed profile.
+//
+// Determinism contract: like the batch runner underneath, the matrix
+// result — every per-cell results file and the summary document — is a
+// pure function of the MatrixConfig. `jobs` only changes wall time. Cells
+// run sequentially; parallelism lives inside each cell's batch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/batch.h"
+
+namespace anu::driver {
+
+/// Bumped on any incompatible matrix-summary-JSON change.
+inline constexpr int kMatrixSchemaVersion = 1;
+
+struct MatrixConfig {
+  /// Template for every cell. The matrix overrides the synthetic-workload
+  /// shape, cluster speeds, and system; everything else (tuning interval,
+  /// cache model, ...) is inherited.
+  SimSpec base;
+
+  /// Speed-profile names (heterogeneity_profile below).
+  std::vector<std::string> profiles{"uniform", "paper", "bimodal"};
+  std::vector<std::size_t> server_counts{5, 10, 20};
+  /// Target utilizations in (0, 1).
+  std::vector<double> loads{0.45, 0.75};
+  /// Strategy tokens (strategy_config below). Default: every selectable
+  /// system, with both JSQ(d) flavours.
+  std::vector<std::string> strategies{"simple", "prescient", "vp",  "anu",
+                                      "jsqd",   "jsqdw",     "jiq", "red"};
+
+  /// Per-cell batch shape. Every cell uses the same base_seed (paired
+  /// comparisons across strategies and scenarios).
+  std::size_t seeds = 3;
+  std::size_t jobs = 0;
+  std::uint64_t base_seed = 42;
+
+  /// Workload scaling: cell workload size follows the cluster size.
+  std::size_t requests_per_server = 300;
+  std::size_t file_sets_per_server = 5;
+  SimTime duration = 1800.0;
+
+  /// Per-cell batch-results files and matrix-summary.json land here.
+  std::string out_dir = "matrix-out";
+};
+
+/// One completed cell: its coordinates, the results file it wrote
+/// (relative to out_dir), and headline batch means for the summary table.
+struct MatrixCell {
+  std::string profile;
+  std::size_t servers = 0;
+  double load = 0.0;
+  std::string strategy;  // display label (system_label + variant suffix)
+  std::string file;
+  double mean_latency_s = 0.0;
+  double latency_cv = 0.0;
+  double p99_s = 0.0;
+  double requests_completed = 0.0;
+};
+
+struct MatrixResult {
+  std::vector<MatrixCell> cells;
+};
+
+/// Server speeds for a named heterogeneity profile, nullopt if unknown:
+///   uniform — every server speed 5 (homogeneous control)
+///   paper   — cycle 1,3,5,7,9 (the §5.1 cluster shape, tiled)
+///   bimodal — slow half speed 1, fast half speed 9
+///   extreme — powers of two: 1,2,4,8,16 cycled (16x spread)
+[[nodiscard]] std::optional<std::vector<double>> heterogeneity_profile(
+    std::string_view name, std::size_t servers);
+
+/// All profile names heterogeneity_profile accepts, in display order.
+[[nodiscard]] const std::vector<std::string>& heterogeneity_profile_names();
+
+/// Applies a strategy token to a system config: any name
+/// parse_system_kind accepts, plus the variant token "jsqdw" (JSQ(d) with
+/// speed-aware sampling). Returns nullopt for unknown tokens.
+[[nodiscard]] std::optional<SystemConfig> strategy_config(
+    std::string_view token, const SystemConfig& base);
+
+/// Runs every cell sequentially, writing one batch-results file per cell
+/// into config.out_dir (created if missing). Throws std::runtime_error on
+/// unknown profile/strategy tokens, invalid loads, or I/O failure.
+[[nodiscard]] MatrixResult run_matrix(const MatrixConfig& config);
+
+/// The versioned summary document ("anu.matrix_summary").
+[[nodiscard]] obs::Json matrix_summary_json(const MatrixConfig& config,
+                                            const MatrixResult& result);
+
+/// Writes matrix_summary_json(...) pretty-printed; false on I/O failure.
+bool write_matrix_summary_file(const std::string& path,
+                               const MatrixConfig& config,
+                               const MatrixResult& result);
+
+/// Human-readable per-scenario table (what anu_sim --matrix prints).
+void print_matrix_summary(std::ostream& os, const MatrixResult& result);
+
+}  // namespace anu::driver

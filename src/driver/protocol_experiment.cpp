@@ -103,7 +103,9 @@ ExperimentResult run_protocol_experiment(
     }
     cluster.submit(safe, fs, demand);
   };
-  cluster.on_flush = [&](FileSetId fs, double demand) { dispatch(fs, demand); };
+  cluster.on_flush = [&](FileSetId fs, double demand, std::uint64_t) {
+    dispatch(fs, demand);
+  };
 
   const auto& requests = workload.requests();
   std::size_t cursor = 0;

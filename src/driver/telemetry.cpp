@@ -82,6 +82,22 @@ Json system_json(const SystemConfig& c) {
       break;
     case SystemKind::kDynPrescient:
       break;
+    case SystemKind::kJsqD:
+      o.set("d", c.jsq.d)
+          .set("speed_aware", c.jsq.speed_aware)
+          .set("seed", c.jsq.seed);
+      break;
+    case SystemKind::kJoinIdleQueue:
+      o.set("policy", balance::jiq_policy_name(c.jiq.policy))
+          .set("weighted_fallback", c.jiq.weighted_fallback)
+          .set("seed", c.jiq.seed);
+      break;
+    case SystemKind::kRedundancyD:
+      o.set("d", c.red.d)
+          .set("cancel", balance::cancel_mode_name(c.red.cancel))
+          .set("speed_aware", c.red.speed_aware)
+          .set("seed", c.red.seed);
+      break;
   }
   return o;
 }
@@ -147,6 +163,20 @@ Json result_json(const ExperimentResult& r) {
       .set("top_transfers", r.queue.top_transfers)
       .set("bottom_sorts", r.queue.bottom_sorts);
   o.set("sim.queue", std::move(queue));
+  // Strategy identity + per-strategy counters (docs/strategies.md lists
+  // each strategy's counter set). Absent for drivers that predate the
+  // block (protocol/chaos runs leave the strategy name empty).
+  if (!r.balance.strategy.empty()) {
+    Json balance = Json::object();
+    balance.set("strategy", r.balance.strategy)
+        .set("per_request", r.balance.per_request);
+    Json counters = Json::object();
+    for (const auto& [key, value] : r.balance.counters) {
+      counters.set(key, value);
+    }
+    balance.set("counters", std::move(counters));
+    o.set("balance", std::move(balance));
+  }
   o.set("aggregate", stats_json(r.aggregate));
   o.set("steady_state", stats_json(r.steady_state));
   o.set("latency_histogram", histogram_json(r.latency_histogram));

@@ -35,6 +35,27 @@ std::vector<Job> FifoResource::extract_queued(
   return taken;
 }
 
+CancelOutcome FifoResource::cancel(std::uint64_t id) {
+  if (id == 0) return CancelOutcome::kNotFound;
+  if (busy_ && in_flight_.id == id) {
+    completion_event_.cancel();
+    busy_ = false;
+    busy_time_ += sim_.now() - service_start_;  // partial service rendered
+    Job dead = std::move(in_flight_);
+    (void)dead;  // destroyed here; no on_complete/on_flush for cancellations
+    start_next();
+    if (!busy_ && on_idle) on_idle();
+    return CancelOutcome::kInService;
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      queue_.erase(it);
+      return CancelOutcome::kQueued;
+    }
+  }
+  return CancelOutcome::kNotFound;
+}
+
 void FifoResource::set_speed(double speed) {
   ANU_REQUIRE(speed > 0.0);
   speed_ = speed;
@@ -75,7 +96,9 @@ void FifoResource::start_next() {
     Job done = std::move(in_flight_);
     start_next();
     if (done.on_complete) done.on_complete(sim_.now(), done);
+    if (!busy_ && up_ && on_idle) on_idle();
   });
+  if (in_flight_.on_start) in_flight_.on_start(sim_.now(), in_flight_);
 }
 
 }  // namespace anu::sim

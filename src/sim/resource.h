@@ -26,13 +26,28 @@ struct Job {
   /// Opaque tag the submitter uses to identify the job in callbacks.
   std::uint64_t tag = 0;
   /// Called at completion with (completion_time, job). Not called for jobs
-  /// flushed by fail().
+  /// flushed by fail() or removed by cancel().
   std::function<void(SimTime, const Job&)> on_complete;
   /// Arrival time. Left negative, the resource stamps it at submit(); a
   /// non-negative value is preserved — used when a queued request migrates
   /// between servers and must keep its original arrival for latency
   /// accounting.
   SimTime arrival = -1.0;
+  /// Unique cancellation handle. 0 (the default) means "not cancellable";
+  /// a nonzero id can be passed to cancel() to remove the job whether it
+  /// is still waiting or already in service. Redundant-dispatch replicas
+  /// (docs/strategies.md) are the motivating user.
+  std::uint64_t id = 0;
+  /// Called when service begins (possibly synchronously inside submit()
+  /// when the resource is idle). Must not cancel the job it fires for.
+  std::function<void(SimTime, const Job&)> on_start = nullptr;
+};
+
+/// What cancel() found (and removed).
+enum class CancelOutcome {
+  kNotFound,   // no job with that id here
+  kQueued,     // removed while still waiting — no service wasted
+  kInService,  // aborted mid-service — partial work counts as busy time
 };
 
 class FifoResource {
@@ -66,6 +81,13 @@ class FifoResource {
   std::vector<Job> extract_queued(
       const std::function<bool(const Job&)>& predicate);
 
+  /// Removes the job with nonzero cancellation id `id`. A waiting job is
+  /// dropped from the queue; the in-flight job is aborted (its completion
+  /// event is cancelled, the partial service rendered counts as busy time,
+  /// and the next waiting job starts). Neither invokes on_complete or
+  /// on_flush — cancellation is the caller's own bookkeeping.
+  CancelOutcome cancel(std::uint64_t id);
+
   [[nodiscard]] bool is_up() const { return up_; }
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] std::size_t queue_length() const {
@@ -87,6 +109,13 @@ class FifoResource {
 
   /// Invoked for each job flushed by fail().
   std::function<void(const Job&)> on_flush;
+
+  /// Invoked whenever the resource transitions to idle while up (a
+  /// completion or cancellation drained the last job). Not invoked for the
+  /// initial idle state or on fail()/recover() — membership changes are
+  /// reported through their own channel. JIQ-style dispatchers use this as
+  /// their idle-token feed (docs/strategies.md).
+  std::function<void()> on_idle;
 
  private:
   void start_next();

@@ -37,7 +37,7 @@ TEST(Server, FailFlushesThroughCallback) {
   sim::Simulation sim;
   Server server(sim, ServerId(0), 1.0);
   std::vector<std::uint32_t> flushed;
-  server.on_flush = [&](FileSetId fs, double) {
+  server.on_flush = [&](FileSetId fs, double, std::uint64_t) {
     flushed.push_back(fs.value());
   };
   server.submit(FileSetId(1), 100.0);

@@ -139,6 +139,53 @@ TEST(ConfigFile, RejectsSubUnityCachePenalty) {
   EXPECT_FALSE(parse("cache_warmup_requests 0\n").has_value());
 }
 
+TEST(ConfigFile, DispatchStrategyKeys) {
+  const auto spec = parse(
+      "system jsqd\n"
+      "jsq_d 4\n"
+      "jsq_speed_aware 1\n"
+      "jiq_policy fastest\n"
+      "jiq_weighted_fallback 0\n"
+      "red_d 3\n"
+      "red_cancel start\n"
+      "red_speed_aware 1\n"
+      "strategy_seed 1234\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->system.kind, SystemKind::kJsqD);
+  EXPECT_EQ(spec->system.jsq.d, 4u);
+  EXPECT_TRUE(spec->system.jsq.speed_aware);
+  EXPECT_EQ(spec->system.jiq.policy, balance::JiqConfig::TokenPolicy::kFastest);
+  EXPECT_FALSE(spec->system.jiq.weighted_fallback);
+  EXPECT_EQ(spec->system.red.d, 3u);
+  EXPECT_EQ(spec->system.red.cancel,
+            balance::RedundancyDConfig::CancelMode::kOnStart);
+  EXPECT_TRUE(spec->system.red.speed_aware);
+  // strategy_seed feeds all three dispatch strategies.
+  EXPECT_EQ(spec->system.jsq.seed, 1234u);
+  EXPECT_EQ(spec->system.jiq.seed, 1234u);
+  EXPECT_EQ(spec->system.red.seed, 1234u);
+}
+
+TEST(ConfigFile, DispatchStrategyAliases) {
+  EXPECT_EQ(parse("system jsq-d\n")->system.kind, SystemKind::kJsqD);
+  EXPECT_EQ(parse("system jiq\n")->system.kind, SystemKind::kJoinIdleQueue);
+  EXPECT_EQ(parse("system redundancy\n")->system.kind,
+            SystemKind::kRedundancyD);
+  EXPECT_EQ(parse("system red\n")->system.kind, SystemKind::kRedundancyD);
+}
+
+TEST(ConfigFile, RejectsBadDispatchValues) {
+  ConfigError error;
+  EXPECT_FALSE(parse("jsq_d 0\n", &error));
+  EXPECT_NE(error.message.find("jsq_d"), std::string::npos);
+  EXPECT_FALSE(parse("jsq_d 9\n", &error));
+  EXPECT_FALSE(parse("red_d 99\n", &error));
+  EXPECT_FALSE(parse("jiq_policy random\n", &error));
+  EXPECT_NE(error.message.find("jiq_policy"), std::string::npos);
+  EXPECT_FALSE(parse("red_cancel never\n", &error));
+  EXPECT_NE(error.message.find("red_cancel"), std::string::npos);
+}
+
 TEST(ConfigFile, TraceFileImpliesTraceWorkload) {
   const auto spec = parse("trace_file /tmp/x.trace\n");
   ASSERT_TRUE(spec.has_value());

@@ -438,5 +438,112 @@ TEST(FifoResource, FailAccountsPartialService) {
   EXPECT_DOUBLE_EQ(res.busy_time(), 2.0);
 }
 
+TEST(FifoResource, CancelQueuedRemovesSilently) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  int completions = 0;
+  int flushes = 0;
+  res.on_flush = [&](const Job&) { ++flushes; };
+  res.submit(Job{4.0, 0, [&](SimTime, const Job&) { ++completions; }});
+  Job waiting{4.0, 1, [&](SimTime, const Job&) { ++completions; }};
+  waiting.id = 7;
+  res.submit(std::move(waiting));
+  EXPECT_EQ(res.queue_length(), 2u);
+
+  EXPECT_EQ(res.cancel(7), CancelOutcome::kQueued);
+  EXPECT_EQ(res.queue_length(), 1u);
+  sim.run_to_completion();
+  // Only the uncancelled job completed; the cancelled one never surfaced
+  // through on_complete or on_flush.
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(flushes, 0);
+  EXPECT_EQ(res.jobs_completed(), 1u);
+}
+
+TEST(FifoResource, CancelInServiceAbortsAndStartsNext) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  std::vector<std::uint64_t> done;
+  Job first{10.0, 1, [&](SimTime, const Job& j) { done.push_back(j.tag); }};
+  first.id = 1;
+  res.submit(std::move(first));
+  res.submit(Job{2.0, 2, [&](SimTime, const Job& j) { done.push_back(j.tag); }});
+
+  sim.schedule_at(3.0, [&] {
+    EXPECT_EQ(res.cancel(1), CancelOutcome::kInService);
+    // The next waiting job takes over immediately.
+    EXPECT_TRUE(res.busy());
+  });
+  sim.run_to_completion();
+  // Tag-1's completion never fires; tag-2 starts at t=3 and finishes at t=5.
+  EXPECT_EQ(done, (std::vector<std::uint64_t>{2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  // Partial service (3s) plus the follow-up job (2s) count as busy time.
+  EXPECT_DOUBLE_EQ(res.busy_time(), 5.0);
+}
+
+TEST(FifoResource, CancelUnknownIdIsNotFound) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  EXPECT_EQ(res.cancel(42), CancelOutcome::kNotFound);
+  Job j{1.0, 0, nullptr};
+  j.id = 5;
+  res.submit(std::move(j));
+  EXPECT_EQ(res.cancel(6), CancelOutcome::kNotFound);
+  EXPECT_EQ(res.cancel(5), CancelOutcome::kInService);
+}
+
+TEST(FifoResource, OnStartFiresSynchronouslyWhenIdle) {
+  Simulation sim;
+  FifoResource res(sim, 2.0);
+  bool started = false;
+  Job j{4.0, 0, nullptr};
+  j.on_start = [&](SimTime t, const Job& job) {
+    started = true;
+    EXPECT_DOUBLE_EQ(t, 0.0);
+    EXPECT_EQ(job.demand, 4.0);
+  };
+  res.submit(std::move(j));
+  // The resource was idle: service began inside submit() itself.
+  EXPECT_TRUE(started);
+}
+
+TEST(FifoResource, OnStartFiresAtServiceStartWhenQueued) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  res.submit(Job{3.0, 0, nullptr});
+  SimTime started_at = -1.0;
+  Job j{1.0, 1, nullptr};
+  j.on_start = [&](SimTime t, const Job&) { started_at = t; };
+  res.submit(std::move(j));
+  EXPECT_DOUBLE_EQ(started_at, -1.0);  // still waiting
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(started_at, 3.0);  // when the first job finished
+}
+
+TEST(FifoResource, OnIdleFiresOnDrainNotOnFailure) {
+  Simulation sim;
+  FifoResource res(sim, 1.0);
+  int idles = 0;
+  res.on_idle = [&] { ++idles; };
+  EXPECT_EQ(idles, 0);  // initial idle state does not count
+
+  res.submit(Job{2.0, 0, nullptr});
+  sim.run_to_completion();
+  EXPECT_EQ(idles, 1);  // completion drained the queue
+
+  Job j{5.0, 1, nullptr};
+  j.id = 9;
+  res.submit(std::move(j));
+  EXPECT_EQ(res.cancel(9), CancelOutcome::kInService);
+  EXPECT_EQ(idles, 2);  // cancellation drained the queue
+
+  res.submit(Job{5.0, 2, nullptr});
+  res.fail();
+  EXPECT_EQ(idles, 2);  // fail() is not an idle transition
+  res.recover();
+  EXPECT_EQ(idles, 2);
+}
+
 }  // namespace
 }  // namespace anu::sim

@@ -2,15 +2,19 @@
 //
 // Usage:
 //   anu_sim [options] <config-file>  # run the configured system
-//   anu_sim --compare <config-file>  # run all four systems, compare
+//   anu_sim --compare <config-file>  # run every system, compare
 //   anu_sim --example                # print a commented example config
 //   anu_sim --chaos-seed <n> [--chaos-profile <p>]  # chaos run
 //   anu_sim --seeds <n> [--jobs <m>] [--json-out <f>] [config|chaos opts]
+//   anu_sim --matrix [--matrix-out <dir>] [matrix opts] [<config-file>]
 //
 // Options:
 //   --trace-out <file>     write the event trace (.jsonl -> JSONL, else
 //                          Chrome trace_event, loadable in ui.perfetto.dev)
 //   --manifest-out <file>  write the per-run telemetry manifest (JSON)
+//   --strategy <name>      override the config's `system` (any name
+//                          parse_system_kind accepts, plus jsqdw for
+//                          speed-aware JSQ(d)); run and batch modes
 //   --chaos-seed <n>       run a seeded chaos scenario through the full
 //                          protocol experiment and check its convergence
 //                          invariants (docs/chaos.md); exits 1 on violation
@@ -22,6 +26,14 @@
 //   --jobs <m>             batch parallelism cap (0 = all cores); never
 //                          affects results, only wall time
 //   --json-out <file>      batch mode: write the versioned results JSON
+//   --matrix               scenario-matrix mode: sweep heterogeneity
+//                          profiles x server counts x loads x strategies,
+//                          one multi-seed batch per cell (docs/strategies.md)
+//   --matrix-out <dir>     matrix output directory (default matrix-out)
+//   --profiles <csv>       matrix profiles (uniform,paper,bimodal,extreme)
+//   --servers <csv>        matrix cluster sizes (default 5,10,20)
+//   --loads <csv>          matrix target utilizations (default 0.45,0.75)
+//   --strategies <csv>     matrix strategy tokens (default: all systems)
 //
 // The first two options override the matching `trace_out` / `manifest_out`
 // config keys. Schemas: docs/observability.md.
@@ -41,6 +53,7 @@
 #include "driver/batch.h"
 #include "driver/chaos.h"
 #include "driver/config_file.h"
+#include "driver/matrix.h"
 #include "driver/telemetry.h"
 #include "metrics/consistency.h"
 #include "obs/export.h"
@@ -75,7 +88,20 @@ struct OutputOptions {
   std::string manifest_out;
 };
 
-int run(const char* path, const OutputOptions& options) {
+/// Applies a --strategy override; false (with message) on unknown token.
+bool apply_strategy(const std::string& strategy, SystemConfig* system) {
+  if (strategy.empty()) return true;
+  const auto sys = strategy_config(strategy, *system);
+  if (!sys) {
+    std::fprintf(stderr, "unknown strategy: %s\n", strategy.c_str());
+    return false;
+  }
+  *system = *sys;
+  return true;
+}
+
+int run(const char* path, const OutputOptions& options,
+        const std::string& strategy) {
   ConfigError error;
   auto spec = parse_sim_config_file(path, &error);
   if (!spec) {
@@ -83,6 +109,7 @@ int run(const char* path, const OutputOptions& options) {
                  error.message.c_str());
     return 1;
   }
+  if (!apply_strategy(strategy, &spec->system)) return 1;
   if (!options.trace_out.empty()) spec->trace_out = options.trace_out;
   if (!options.manifest_out.empty()) spec->manifest_out = options.manifest_out;
   const auto workload = build_workload(*spec, &error);
@@ -304,7 +331,7 @@ SimSpec default_batch_spec() {
 int run_batch_cli(std::size_t seeds, std::size_t jobs,
                   const std::string& json_out, const char* config_path,
                   bool chaos, std::uint64_t chaos_seed,
-                  ChaosProfile chaos_profile) {
+                  ChaosProfile chaos_profile, const std::string& strategy) {
   BatchConfig batch;
   batch.seeds = seeds;
   batch.jobs = jobs;
@@ -329,6 +356,7 @@ int run_batch_cli(std::size_t seeds, std::size_t jobs,
     } else {
       batch.spec = default_batch_spec();
     }
+    if (!apply_strategy(strategy, &batch.spec.system)) return 1;
     batch.base_seed = batch.spec.workload == SimSpec::WorkloadKind::kTrace
                           ? batch.spec.trace.seed
                           : batch.spec.synthetic.seed;
@@ -371,6 +399,99 @@ int run_batch_cli(std::size_t seeds, std::size_t jobs,
       return 1;
     }
   }
+  return 0;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Matrix-mode dimension overrides; empty = the MatrixConfig defaults.
+struct MatrixOptions {
+  std::string out_dir;
+  std::string profiles;
+  std::string servers;
+  std::string loads;
+  std::string strategies;
+};
+
+int run_matrix_cli(std::size_t seeds, std::size_t jobs,
+                   const char* config_path, const MatrixOptions& options) {
+  MatrixConfig config;
+  if (config_path) {
+    ConfigError error;
+    const auto spec = parse_sim_config_file(config_path, &error);
+    if (!spec) {
+      std::fprintf(stderr, "%s:%zu: %s\n", config_path, error.line,
+                   error.message.c_str());
+      return 1;
+    }
+    config.base = *spec;
+    config.base_seed = spec->synthetic.seed;
+  }
+  if (seeds != 0) config.seeds = seeds;
+  config.jobs = jobs;
+  if (!options.out_dir.empty()) config.out_dir = options.out_dir;
+  if (!options.profiles.empty()) config.profiles = split_csv(options.profiles);
+  if (!options.strategies.empty()) {
+    config.strategies = split_csv(options.strategies);
+  }
+  if (!options.servers.empty()) {
+    config.server_counts.clear();
+    for (const std::string& k : split_csv(options.servers)) {
+      const std::size_t servers = std::strtoull(k.c_str(), nullptr, 10);
+      if (servers == 0) {
+        std::fprintf(stderr, "bad --servers value: %s\n", k.c_str());
+        return 2;
+      }
+      config.server_counts.push_back(servers);
+    }
+  }
+  if (!options.loads.empty()) {
+    config.loads.clear();
+    for (const std::string& u : split_csv(options.loads)) {
+      config.loads.push_back(std::strtod(u.c_str(), nullptr));
+    }
+  }
+
+  const std::size_t cell_count = config.profiles.size() *
+                                 config.server_counts.size() *
+                                 config.loads.size() *
+                                 config.strategies.size();
+  std::printf("anu_sim --matrix: %zu profiles x %zu sizes x %zu loads x "
+              "%zu strategies = %zu cells, %zu seeds each, base seed %llu\n",
+              config.profiles.size(), config.server_counts.size(),
+              config.loads.size(), config.strategies.size(), cell_count,
+              config.seeds,
+              static_cast<unsigned long long>(config.base_seed));
+
+  MatrixResult result;
+  try {
+    result = run_matrix(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "matrix failed: %s\n", e.what());
+    return 1;
+  }
+  print_matrix_summary(std::cout, result);
+
+  const std::string summary_path = config.out_dir + "/matrix-summary.json";
+  if (!write_matrix_summary_file(summary_path, config, result)) {
+    std::fprintf(stderr, "error: cannot write %s\n", summary_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu cell files + matrix-summary.json to %s\n",
+              result.cells.size(), config.out_dir.c_str());
   return 0;
 }
 
@@ -426,14 +547,22 @@ int usage(const char* argv0) {
                "       %s --seeds <n> [--jobs <m>] [--json-out <file>]\n"
                "          [<config-file> | --chaos-seed <n> "
                "[--chaos-profile <p>]]\n"
+               "       %s --matrix [--matrix-out <dir>] [--profiles <csv>]\n"
+               "          [--servers <csv>] [--loads <csv>] "
+               "[--strategies <csv>]\n"
+               "          [--seeds <n>] [--jobs <m>] [<config-file>]\n"
                "options:\n"
                "  --trace-out <file>     write event trace (.jsonl or Chrome)\n"
                "  --manifest-out <file>  write per-run telemetry manifest\n"
+               "  --strategy <name>      override the configured system\n"
                "  --chaos-profile <p>    light|heavy|partition|degrade|mixed\n"
                "  --seeds <n>            multi-seed batch; mean + 95%% CI\n"
                "  --jobs <m>             batch parallelism cap (0 = cores)\n"
-               "  --json-out <file>      batch results JSON (docs/ci.md)\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "  --json-out <file>      batch results JSON (docs/ci.md)\n"
+               "  --matrix               heterogeneity scenario matrix\n"
+               "  --matrix-out <dir>     matrix output dir (default "
+               "matrix-out)\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -454,12 +583,29 @@ int main(int argc, char** argv) {
   std::size_t seeds = 0;
   std::size_t jobs = 0;
   std::string json_out;
+  std::string strategy;
+  bool matrix = false;
+  MatrixOptions matrix_options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
       options.trace_out = argv[++i];
     } else if (std::strcmp(arg, "--manifest-out") == 0 && i + 1 < argc) {
       options.manifest_out = argv[++i];
+    } else if (std::strcmp(arg, "--strategy") == 0 && i + 1 < argc) {
+      strategy = argv[++i];
+    } else if (std::strcmp(arg, "--matrix") == 0) {
+      matrix = true;
+    } else if (std::strcmp(arg, "--matrix-out") == 0 && i + 1 < argc) {
+      matrix_options.out_dir = argv[++i];
+    } else if (std::strcmp(arg, "--profiles") == 0 && i + 1 < argc) {
+      matrix_options.profiles = argv[++i];
+    } else if (std::strcmp(arg, "--servers") == 0 && i + 1 < argc) {
+      matrix_options.servers = argv[++i];
+    } else if (std::strcmp(arg, "--loads") == 0 && i + 1 < argc) {
+      matrix_options.loads = argv[++i];
+    } else if (std::strcmp(arg, "--strategies") == 0 && i + 1 < argc) {
+      matrix_options.strategies = argv[++i];
     } else if (std::strcmp(arg, "--chaos-seed") == 0 && i + 1 < argc) {
       chaos = true;
       chaos_seed = std::strtoull(argv[++i], nullptr, 10);
@@ -485,17 +631,25 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (matrix) {
+    // The matrix owns its strategy list; --strategy / chaos don't compose.
+    if (chaos || !strategy.empty() || !json_out.empty()) {
+      return usage(argv[0]);
+    }
+    return run_matrix_cli(seeds, jobs, config, matrix_options);
+  }
   if (batch) {
     if (seeds == 0) return usage(argv[0]);
     if (chaos && config) return usage(argv[0]);
     return run_batch_cli(seeds, jobs, json_out, config, chaos, chaos_seed,
-                         chaos_profile);
+                         chaos_profile, strategy);
   }
   if (!json_out.empty() || jobs != 0) return usage(argv[0]);  // batch-only
   if (chaos) {
     if (config) return usage(argv[0]);  // chaos generates its own scenario
+    if (!strategy.empty()) return usage(argv[0]);
     return run_chaos_cli(chaos_seed, chaos_profile, options);
   }
   if (!config) return usage(argv[0]);
-  return run(config, options);
+  return run(config, options, strategy);
 }
