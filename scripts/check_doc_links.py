@@ -20,7 +20,12 @@ from pathlib import Path
 # repo and intentionally unsupported.
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
-CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+# Fences may be indented (e.g. inside list items); ``` and ~~~ both open.
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+# Inline code spans are stripped before link matching: C++ snippets in
+# prose — `[[maybe_unused]]`, `map<K*, V>(...)`, annotation macros — would
+# otherwise parse as bracket-paren "links" and false-positive.
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
 
 
 def github_slug(heading: str) -> str:
@@ -62,6 +67,7 @@ def check_file(md: Path, root: Path, anchor_cache: dict[Path, set[str]]) -> list
             continue
         if in_fence:
             continue
+        line = INLINE_CODE_RE.sub("", line)
         for m in LINK_RE.finditer(line):
             target = m.group(1)
             if target.startswith(("http://", "https://", "mailto:")):

@@ -1,14 +1,24 @@
 #include "common/log.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdio>
-#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace anu {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+
+// One mutex serializes formatting output and sink swaps. A swapped-out sink
+// is destroyed only after any in-flight call through it returns (both paths
+// hold g_mutex), which is the race the thread-safety annotations pin down:
+// g_sink is unreachable without the capability.
+Mutex g_mutex;
+LogSink g_sink ANU_GUARDED_BY(g_mutex);  // empty => stderr default
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,15 +40,34 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_sink(LogSink sink) {
+  // Swap under the lock, destroy the old sink after releasing it: a sink
+  // whose destructor logs (or blocks) must not deadlock the logger.
+  LogSink old;
+  {
+    const MutexLock lock(g_mutex);
+    old = std::exchange(g_sink, std::move(sink));
+  }
+}
+
 void log_message(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[anu %s] ", level_name(level));
+  // Format outside the lock; only the sink call needs serialization.
+  char buf[1024];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (n < 0) return;
+  const std::size_t len =
+      std::min(static_cast<std::size_t>(n), sizeof buf - 1);
+  const MutexLock lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, std::string_view(buf, len));
+    return;
+  }
+  std::fprintf(stderr, "[anu %s] %.*s\n", level_name(level),
+               static_cast<int>(len), buf);
 }
 
 }  // namespace anu

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdarg>
+#include <functional>
 #include <string>
+#include <string_view>
 
 namespace anu {
 
@@ -16,7 +18,18 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Receives one fully formatted message (no trailing newline). Called with
+/// the logging mutex held, so a sink swap can never free a sink that is
+/// mid-call — but that also means sinks must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Swaps the global sink; an empty sink restores the stderr default.
+/// Thread-safe against concurrent log_message calls: the swap and every
+/// sink invocation serialize on one mutex (see log.cpp annotations).
+void set_log_sink(LogSink sink);
+
 /// printf-style logging. Thread-safe (single global mutex; logging is cold).
+/// Messages are truncated to an internal buffer (1 KiB) before the sink.
 void log_message(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 

@@ -11,8 +11,8 @@ namespace anu {
 // Pool level: per-worker task deques + steal-half + idle parking.
 
 struct ThreadPool::Worker {
-  std::mutex mutex;
-  std::deque<Task> queue;
+  Mutex mutex;
+  std::deque<Task> queue ANU_GUARDED_BY(mutex);
 };
 
 namespace {
@@ -37,7 +37,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(park_mutex_);
+    const MutexLock lock(park_mutex_);
     stop_.store(true, std::memory_order_release);
   }
   park_cv_.notify_all();
@@ -47,6 +47,14 @@ ThreadPool::~ThreadPool() {
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool::StatsSnapshot ThreadPool::stats() const {
+  StatsSnapshot s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::submit(Task task) {
@@ -60,13 +68,13 @@ void ThreadPool::submit(Task task) {
              workers_.size();
   }
   {
-    const std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    const MutexLock lock(workers_[target]->mutex);
     workers_[target]->queue.push_back(std::move(task));
   }
   // The increment must synchronize with the parking predicate, or a worker
   // that just evaluated pending_ == 0 could sleep through this wakeup.
   {
-    const std::lock_guard<std::mutex> lock(park_mutex_);
+    const MutexLock lock(park_mutex_);
     pending_.fetch_add(1, std::memory_order_release);
   }
   park_cv_.notify_one();
@@ -76,7 +84,7 @@ bool ThreadPool::take_task(std::size_t self, Task& out) {
   // Own deque first, newest task (back) — the classic owner end.
   {
     Worker& me = *workers_[self];
-    const std::lock_guard<std::mutex> lock(me.mutex);
+    const MutexLock lock(me.mutex);
     if (!me.queue.empty()) {
       out = std::move(me.queue.back());
       me.queue.pop_back();
@@ -91,7 +99,7 @@ bool ThreadPool::take_task(std::size_t self, Task& out) {
   std::size_t best = 0;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     if (w == self) continue;
-    const std::lock_guard<std::mutex> lock(workers_[w]->mutex);
+    const MutexLock lock(workers_[w]->mutex);
     if (workers_[w]->queue.size() > best) {
       best = workers_[w]->queue.size();
       victim = w;
@@ -101,7 +109,7 @@ bool ThreadPool::take_task(std::size_t self, Task& out) {
   std::deque<Task> haul;
   {
     Worker& v = *workers_[victim];
-    const std::lock_guard<std::mutex> lock(v.mutex);
+    const MutexLock lock(v.mutex);
     const std::size_t take = (v.queue.size() + 1) / 2;
     for (std::size_t i = 0; i < take; ++i) {
       haul.push_back(std::move(v.queue.front()));
@@ -109,12 +117,13 @@ bool ThreadPool::take_task(std::size_t self, Task& out) {
     }
   }
   if (haul.empty()) return false;  // raced: victim drained meanwhile
+  steals_.fetch_add(1, std::memory_order_relaxed);
   out = std::move(haul.front());
   haul.pop_front();
   pending_.fetch_sub(1, std::memory_order_acquire);
   if (!haul.empty()) {
     Worker& me = *workers_[self];
-    const std::lock_guard<std::mutex> lock(me.mutex);
+    const MutexLock lock(me.mutex);
     for (Task& t : haul) me.queue.push_back(std::move(t));
   }
   return true;
@@ -126,9 +135,11 @@ void ThreadPool::worker_loop(std::size_t self) {
     Task task;
     if (take_task(self, task)) {
       task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    std::unique_lock<std::mutex> lock(park_mutex_);
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(park_mutex_);
     park_cv_.wait(lock, [this] {
       return stop_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_acquire) > 0;
@@ -142,28 +153,28 @@ void ThreadPool::worker_loop(std::size_t self) {
 
 struct ThreadPool::BatchState {
   struct Shard {
-    std::mutex mutex;
-    std::deque<std::size_t> indices;
+    Mutex mutex;
+    std::deque<std::size_t> indices ANU_GUARDED_BY(mutex);
   };
 
   const std::function<void(std::size_t)>* fn = nullptr;
   std::vector<std::unique_ptr<Shard>> shards;
   std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::size_t error_count = 0;
+  Mutex error_mutex;
+  std::exception_ptr first_error ANU_GUARDED_BY(error_mutex);
+  std::size_t error_count ANU_GUARDED_BY(error_mutex) = 0;
 
   // Jobs not yet finished or abandoned; the caller blocks until 0.
   std::atomic<std::size_t> remaining{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;  // signalled under done_mutex
 
   /// Pops one index for participant `slot`: own shard back first, then the
   /// front half of the richest sibling shard.
   bool take_index(std::size_t slot, std::size_t& out) {
     {
       Shard& mine = *shards[slot];
-      const std::lock_guard<std::mutex> lock(mine.mutex);
+      const MutexLock lock(mine.mutex);
       if (!mine.indices.empty()) {
         out = mine.indices.back();
         mine.indices.pop_back();
@@ -174,7 +185,7 @@ struct ThreadPool::BatchState {
     std::size_t best = 0;
     for (std::size_t s = 0; s < shards.size(); ++s) {
       if (s == slot) continue;
-      const std::lock_guard<std::mutex> lock(shards[s]->mutex);
+      const MutexLock lock(shards[s]->mutex);
       if (shards[s]->indices.size() > best) {
         best = shards[s]->indices.size();
         victim = s;
@@ -184,7 +195,7 @@ struct ThreadPool::BatchState {
     std::deque<std::size_t> haul;
     {
       Shard& v = *shards[victim];
-      const std::lock_guard<std::mutex> lock(v.mutex);
+      const MutexLock lock(v.mutex);
       const std::size_t take = (v.indices.size() + 1) / 2;
       for (std::size_t i = 0; i < take; ++i) {
         haul.push_back(v.indices.front());
@@ -196,7 +207,7 @@ struct ThreadPool::BatchState {
     haul.pop_front();
     if (!haul.empty()) {
       Shard& mine = *shards[slot];
-      const std::lock_guard<std::mutex> lock(mine.mutex);
+      const MutexLock lock(mine.mutex);
       for (const std::size_t i : haul) mine.indices.push_back(i);
     }
     return true;
@@ -204,7 +215,7 @@ struct ThreadPool::BatchState {
 
   void finish_one() {
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      const std::lock_guard<std::mutex> lock(done_mutex);
+      const MutexLock lock(done_mutex);
       done_cv.notify_all();
     }
   }
@@ -221,7 +232,7 @@ void ThreadPool::participate(const std::shared_ptr<BatchState>& batch,
     try {
       (*batch->fn)(index);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(batch->error_mutex);
+      const MutexLock lock(batch->error_mutex);
       if (!batch->first_error) batch->first_error = std::current_exception();
       ++batch->error_count;
       batch->failed.store(true, std::memory_order_release);
@@ -249,8 +260,12 @@ void ThreadPool::run_indexed(std::size_t count,
     batch->shards.push_back(std::make_unique<BatchState::Shard>());
   }
   // Round-robin sharding: shard s starts with indices s, s+P, s+2P, ...
+  // Runs before the first submit(), so no shard mutex is contended yet;
+  // the analysis still wants the capability held for the guarded deque.
   for (std::size_t i = 0; i < count; ++i) {
-    batch->shards[i % parallelism]->indices.push_back(i);
+    BatchState::Shard& shard = *batch->shards[i % parallelism];
+    const MutexLock lock(shard.mutex);
+    shard.indices.push_back(i);
   }
   // Helpers run on pool workers; stale ones (arriving after the batch
   // drained) find empty shards and return. The shared_ptr keeps the state
@@ -262,12 +277,28 @@ void ThreadPool::run_indexed(std::size_t count,
   // every pool worker is busy (including with the batch that spawned us).
   participate(batch, 0);
   {
-    std::unique_lock<std::mutex> lock(batch->done_mutex);
+    MutexLock lock(batch->done_mutex);
     batch->done_cv.wait(lock, [&] {
       return batch->remaining.load(std::memory_order_acquire) == 0;
     });
   }
-  if (batch->first_error) std::rethrow_exception(batch->first_error);
+  // All participants have finished (remaining == 0) and finish_one()'s
+  // release sequence happened-before our acquire, so first_error is
+  // quiescent; the lock keeps the analysis and TSan both satisfied.
+  //
+  // Move (not copy) the exception out: a stale helper can drop the last
+  // BatchState reference on a pool worker after we return, and that must
+  // not release the exception object a caller's catch block may still be
+  // reading (the refcount lives in libstdc++'s uninstrumented runtime, so
+  // TSan flags the cross-thread release). After the move the batch holds
+  // nothing; the exception dies on the caller thread.
+  std::exception_ptr error;
+  {
+    const MutexLock lock(batch->error_mutex);
+    error = std::move(batch->first_error);
+    batch->first_error = nullptr;  // moved-from exception_ptr is unspecified
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::run_batch(const std::vector<Task>& jobs,

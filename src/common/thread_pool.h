@@ -24,22 +24,39 @@
 // pure function of the job list, independent of the parallelism level —
 // see driver::run_indexed and the (base_seed, task_index) RNG substream
 // convention in common/rng.h.
+//
+// Locking discipline is machine-checked: guarded members carry
+// ANU_GUARDED_BY and the clang CI legs compile with -Wthread-safety
+// -Werror (docs/static-analysis.md); the TSan CI leg runs the pool suite
+// under ThreadSanitizer.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace anu {
 
 class ThreadPool {
  public:
   using Task = std::function<void()>;
+
+  /// Monotonic scheduling counters, readable while the pool runs. Counters
+  /// are advisory (relaxed atomics): totals are exact once the pool is
+  /// quiescent, transient reads may lag individual workers. Never feed
+  /// them into experiment results — scheduling is timing-dependent by
+  /// nature (tools/anu_lint.py bans completion-order dependence).
+  struct StatsSnapshot {
+    std::uint64_t tasks_executed = 0;  // pool-level tasks run to completion
+    std::uint64_t steals = 0;          // successful steal-half raids
+    std::uint64_t parks = 0;           // times a worker went to sleep
+  };
 
   /// Spawns `workers` threads (0 = hardware concurrency). Workers park
   /// when idle; an idle pool costs no CPU.
@@ -53,6 +70,8 @@ class ThreadPool {
   [[nodiscard]] static ThreadPool& global();
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  [[nodiscard]] StatsSnapshot stats() const;
 
   /// Fire-and-forget: enqueues one task. From a pool worker it lands on
   /// that worker's own deque; from outside, round-robin across workers.
@@ -81,13 +100,24 @@ class ThreadPool {
   static void participate(const std::shared_ptr<BatchState>& batch,
                           std::size_t slot);
 
+  // Immutable after construction (worker threads only read them), so not
+  // guarded by any mutex.
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  std::mutex park_mutex_;
-  std::condition_variable park_cv_;
+
+  Mutex park_mutex_;
+  CondVar park_cv_;  // signalled under park_mutex_
+  // stop_/pending_ are atomics readable without the mutex, but every write
+  // that must wake a parked worker happens under park_mutex_ so it cannot
+  // slip between a worker's predicate check and its wait.
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> pending_{0};      // submitted, not yet claimed
   std::atomic<std::size_t> next_worker_{0};  // external-submit round robin
+
+  // Stats (advisory, relaxed — see StatsSnapshot).
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> parks_{0};
 };
 
 }  // namespace anu

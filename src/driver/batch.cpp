@@ -112,7 +112,11 @@ BatchResult run_experiment_batch(const BatchConfig& config) {
     out.seeds[i] = substream_seed(config.base_seed, i);
   }
   // Each task writes only its own pre-sized slot; aggregation below is
-  // sequential in index order, so results cannot depend on `jobs`.
+  // sequential in index order, so results cannot depend on `jobs`. This is
+  // the disjoint-slot pattern (docs/static-analysis.md): no cross-task
+  // shared mutable state exists, so there is nothing to ANU_GUARDED_BY —
+  // the batch barrier inside run_indexed is the only synchronization, and
+  // it is what makes the slots readable here.
   run_indexed(
       config.seeds,
       [&](std::size_t i) { out.per_seed[i] = run_one(config, out.seeds[i]); },

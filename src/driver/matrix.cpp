@@ -105,6 +105,11 @@ MatrixResult run_matrix(const MatrixConfig& config) {
                              ec.message());
   }
 
+  // Cells run sequentially on the caller thread; all parallelism lives
+  // inside run_experiment_batch's seed fan-out. MatrixResult is therefore
+  // single-threaded state — no locking or ANU_GUARDED_BY applies (see
+  // docs/static-analysis.md on the disjoint-slot/sequential-aggregation
+  // pattern), and cell order is the deterministic loop-nest order.
   MatrixResult out;
   for (const std::string& profile : config.profiles) {
     for (const std::size_t servers : config.server_counts) {

@@ -240,6 +240,10 @@ Json result_json(const ExperimentResult& r) {
 
 }  // namespace
 
+// Reads the TraceSink's counters without locking: the sink is not
+// internally synchronized (trace_sink.h documents the exclusive-ownership
+// contract), so callers must only pass a sink whose run has completed —
+// the experiment barrier, not a mutex, is what makes these reads safe.
 Json manifest_json(const SimSpec& spec, const ExperimentResult& result,
                    const obs::TraceSink* trace) {
   Json root = Json::object();

@@ -57,6 +57,7 @@ std::vector<TraceEvent> TraceSink::snapshot() const {
 }
 
 void TraceSink::clear() {
+  const ExclusiveUse guard(*this);
   head_ = 0;
   size_ = 0;
   emitted_ = 0;

@@ -11,11 +11,29 @@
 // dropped; exporters see the newest `capacity()` events in chronological
 // order. Sizing guidance and the drop accounting contract are documented in
 // docs/observability.md.
+//
+// Concurrency contract: a TraceSink is exclusively owned — one simulation
+// appends, and readers (snapshot / for_each / exporters) run only after the
+// run finishes, synchronized by whatever joined the producing thread (the
+// batch runner's completion barrier provides this happens-before for
+// pool-executed runs). It is deliberately NOT internally locked: emit() is
+// the simulator's hot path and a mutex or atomic head would serialize the
+// ring for a guarantee callers already have structurally. Debug builds
+// enforce the contract with a tripwire (busy_): overlapped append/flush
+// aborts loudly instead of corrupting the ring silently, and the TSan CI
+// leg (docs/static-analysis.md) verifies the handoff synchronization on
+// the batch/matrix tests.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#ifndef NDEBUG
+#include <atomic>
+
+#include "common/assert.h"
+#endif
 
 #include "obs/trace_event.h"
 
@@ -41,6 +59,7 @@ class TraceSink {
   void emit(SimTime time, EventType type, std::uint32_t a = 0,
             std::uint32_t b = 0, std::uint32_t c = 0, double x = 0.0,
             double y = 0.0) {
+    const ExclusiveUse guard(*this);
     TraceEvent& slot = ring_[head_];
     slot.time = time;
     slot.type = type;
@@ -67,6 +86,7 @@ class TraceSink {
   /// Visits retained events oldest-first (chronological order).
   template <class Fn>
   void for_each(Fn&& fn) const {
+    const ExclusiveUse guard(*this);
     const std::size_t start =
         size_ == ring_.size() ? head_ : (head_ + ring_.size() - size_) %
                                             ring_.size();
@@ -82,10 +102,44 @@ class TraceSink {
   void clear();
 
  private:
+#ifndef NDEBUG
+  // Debug tripwire for the exclusive-use contract: set while any append or
+  // flush runs; overlap aborts. Moves reset it — a sink being moved has no
+  // concurrent users by definition.
+  struct DebugBusy {
+    mutable std::atomic<int> flag{0};
+    DebugBusy() = default;
+    DebugBusy(const DebugBusy&) = delete;
+    DebugBusy& operator=(const DebugBusy&) = delete;
+    DebugBusy(DebugBusy&&) noexcept {}
+    DebugBusy& operator=(DebugBusy&&) noexcept { return *this; }
+  };
+
+  class [[nodiscard]] ExclusiveUse {
+   public:
+    explicit ExclusiveUse(const TraceSink& sink) : flag_(&sink.busy_.flag) {
+      ANU_ENSURE(flag_->exchange(1, std::memory_order_acq_rel) == 0);
+    }
+    ~ExclusiveUse() { flag_->store(0, std::memory_order_release); }
+    ExclusiveUse(const ExclusiveUse&) = delete;
+    ExclusiveUse& operator=(const ExclusiveUse&) = delete;
+
+   private:
+    std::atomic<int>* flag_;
+  };
+#else
+  struct [[maybe_unused]] ExclusiveUse {
+    explicit ExclusiveUse(const TraceSink&) {}
+  };
+#endif
+
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // next write slot
   std::size_t size_ = 0;
   std::uint64_t emitted_ = 0;
+#ifndef NDEBUG
+  DebugBusy busy_;
+#endif
 };
 
 }  // namespace anu::obs

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Acceptance test for tools/anu_lint.py (ctest label: lint).
+
+Two halves:
+  1. The fixture tree (tests/lint_fixtures/bad_tree) contains one known-bad
+     snippet per rule; the linter must fail on it and every rule id must
+     appear, while the justified suppression must NOT appear.
+  2. The real repository must lint clean — the determinism guarantees in
+     docs/static-analysis.md are only as good as a green gate.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINTER = REPO / "tools" / "anu_lint.py"
+BAD_TREE = REPO / "tests" / "lint_fixtures" / "bad_tree"
+
+EXPECTED_RULES = [
+    "[wall-clock]",
+    "[raw-rng]",
+    "[unordered-iter]",
+    "[ptr-key-container]",
+    "[pool-order]",
+    "[bare-allow]",
+    "[test-registration]",
+    "[baseline-missing]",
+    "[baseline-orphan]",
+]
+
+
+def run_linter(root: Path) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--root", str(root)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    code, out = run_linter(BAD_TREE)
+    if code != 1:
+        failures.append(f"bad_tree: expected exit 1, got {code}\n{out}")
+    for rule in EXPECTED_RULES:
+        if rule not in out:
+            failures.append(f"bad_tree: rule {rule} did not fire")
+    # Each flagged fixture line fires exactly as designed: the justified
+    # suppression in unordered_iter.cpp must be honored (2 unordered-iter
+    # findings: the unsuppressed loop and the bare-allow loop, not 3).
+    unordered_hits = out.count("[unordered-iter]")
+    if unordered_hits != 2:
+        failures.append(
+            "bad_tree: justified allow() not honored — expected exactly 2 "
+            f"[unordered-iter] findings, got {unordered_hits}\n{out}"
+        )
+    if "uses_wallclock.cpp:7" not in out or "uses_wallclock.cpp:8" not in out:
+        failures.append(f"bad_tree: wall-clock lines not both flagged\n{out}")
+
+    code, out = run_linter(REPO)
+    if code != 0:
+        failures.append(f"real tree: expected clean (exit 0), got {code}\n{out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"ok: all {len(EXPECTED_RULES)} rules fire on the fixture tree, "
+          "suppression honored, real tree clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): unordered-container iteration feeding a
+// result. The first loop must be flagged [unordered-iter]; the second is
+// suppressed with a justified allow; the third's allow has no reason and
+// must be flagged [bare-allow].
+#include <unordered_map>
+
+double bad_sum() {
+  std::unordered_map<int, double> loads;
+  double sum = 0.0;
+  for (const auto& [server, load] : loads) {
+    sum += load;  // order-dependent only via FP rounding, still banned
+  }
+  // anu-lint: allow(unordered-iter) summing into max() is order-invariant
+  for (const auto& [server, load] : loads) {
+    sum = sum > load ? sum : load;
+  }
+  // anu-lint: allow(unordered-iter)
+  for (const auto& [server, load] : loads) {
+    sum += load;
+  }
+  return sum;
+}

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): ambient RNG in result-affecting code.
+// tools/anu_lint.py must flag both lines below with [raw-rng].
+#include <cstdlib>
+#include <random>
+
+int bad_draw() {
+  std::random_device seed_source;
+  return std::rand() + static_cast<int>(seed_source());
+}

@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): pointer-keyed ordered container — the
+// iteration order is the allocator's address order, i.e. ASLR. Must be
+// flagged [ptr-key-container].
+#include <map>
+
+struct Server;
+
+int bad_count() {
+  std::map<Server*, int> by_server;
+  return static_cast<int>(by_server.size());
+}

@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): wall-clock reads in result-affecting code.
+// tools/anu_lint.py must flag both lines below with [wall-clock].
+#include <chrono>
+#include <ctime>
+
+double bad_now() {
+  const auto t = std::chrono::system_clock::now();
+  return static_cast<double>(time(nullptr)) +
+         static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,3 @@
+// Lint fixture (never compiled): NOT registered in the fixture CMakeLists,
+// so tools/anu_lint.py must flag it with [test-registration].
+int orphan_marker() { return 0; }

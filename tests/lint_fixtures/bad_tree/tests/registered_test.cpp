@@ -1,0 +1,2 @@
+// Lint fixture (never compiled): registered in the fixture CMakeLists.
+int registered_marker() { return 0; }

@@ -1,0 +1,125 @@
+// Tests for the leveled logger's pluggable sink: swap semantics, level
+// filtering, truncation, and the sink-swap-vs-concurrent-logging race the
+// thread-safety annotations pin down (ctest label: pool, so the TSan CI
+// leg replays the race detection — docs/static-analysis.md).
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace anu {
+namespace {
+
+/// RAII: restores the stderr default and the prior level on scope exit so
+/// test order can't leak a capture sink into other suites.
+class ScopedSink {
+ public:
+  explicit ScopedSink(LogSink sink) : level_(log_level()) {
+    set_log_sink(std::move(sink));
+  }
+  ~ScopedSink() {
+    set_log_sink({});
+    set_log_level(level_);
+  }
+
+ private:
+  LogLevel level_;
+};
+
+TEST(Log, SinkReceivesFormattedMessageAndLevel) {
+  std::vector<std::pair<LogLevel, std::string>> got;
+  ScopedSink guard([&](LogLevel level, std::string_view msg) {
+    got.emplace_back(level, std::string(msg));
+  });
+  set_log_level(LogLevel::kDebug);
+  ANU_LOG_WARN("answer=%d", 42);
+  ANU_LOG_DEBUG("pi=%.2f", 3.14159);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, LogLevel::kWarn);
+  EXPECT_EQ(got[0].second, "answer=42");
+  EXPECT_EQ(got[1].first, LogLevel::kDebug);
+  EXPECT_EQ(got[1].second, "pi=3.14");
+}
+
+TEST(Log, LevelThresholdDropsBelow) {
+  std::atomic<int> calls{0};
+  ScopedSink guard([&](LogLevel, std::string_view) { ++calls; });
+  set_log_level(LogLevel::kError);
+  ANU_LOG_DEBUG("dropped");
+  ANU_LOG_INFO("dropped");
+  ANU_LOG_WARN("dropped");
+  ANU_LOG_ERROR("kept");
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Log, LongMessagesTruncateInsteadOfOverflowing) {
+  std::string got;
+  ScopedSink guard(
+      [&](LogLevel, std::string_view msg) { got = std::string(msg); });
+  set_log_level(LogLevel::kInfo);
+  const std::string big(4096, 'x');
+  ANU_LOG_WARN("%s", big.c_str());
+  EXPECT_LT(got.size(), 1024u);  // internal buffer bound (log.h)
+  EXPECT_EQ(got.substr(0, 16), std::string(16, 'x'));
+}
+
+TEST(Log, EmptySinkRestoresStderrDefault) {
+  std::atomic<int> calls{0};
+  {
+    ScopedSink guard([&](LogLevel, std::string_view) { ++calls; });
+    set_log_level(LogLevel::kInfo);
+    ANU_LOG_INFO("captured");
+    EXPECT_EQ(calls.load(), 1);
+  }
+  // Post-restore messages go to stderr, not the destroyed capture sink.
+  ANU_LOG_ERROR("to stderr, must not touch calls");
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// The race the annotations guard: swapping the sink while other threads
+// log. The mutex serializes sink invocation with the swap, so a sink can
+// never be destroyed mid-call; every message lands in exactly one sink
+// generation. TSan (check.sh tsan) verifies the absence of a data race on
+// the sink object itself. The sink is installed before the loggers start
+// and the swap loop runs until messages have demonstrably flowed, so the
+// test is schedule-independent (it must pass on a single-CPU host where
+// the main thread can run far ahead of the loggers).
+TEST(Log, ConcurrentLoggingDuringSinkSwapIsRaceFree) {
+  std::atomic<std::uint64_t> delivered{0};
+  const auto counting = [&delivered](LogLevel, std::string_view) {
+    ++delivered;
+  };
+  set_log_level(LogLevel::kInfo);
+  set_log_sink(counting);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> loggers;
+  loggers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    loggers.emplace_back([&stop, t] {
+      for (int i = 0;
+           !stop.load(std::memory_order_relaxed) && i < 20000; ++i) {
+        ANU_LOG_INFO("thread %d message %d", t, i);
+      }
+    });
+  }
+  // Keep re-installing the (equivalent) sink while the loggers run; the
+  // yield is what lets logger threads interleave with the swaps on a
+  // single-CPU host. Terminates: every message hits a counting sink and
+  // the loggers can emit up to 80000 before their own bound.
+  while (delivered.load(std::memory_order_relaxed) < 2000) {
+    set_log_sink(counting);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : loggers) t.join();
+  set_log_sink({});
+  set_log_level(LogLevel::kWarn);
+  EXPECT_GE(delivered.load(), 2000u);
+}
+
+}  // namespace
+}  // namespace anu
