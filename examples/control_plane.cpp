@@ -11,8 +11,10 @@
 // simulator used.
 #include <cstdio>
 
+#include "proto/network.h"
 #include "proto/protocol.h"
 #include "sim/process.h"
+#include "sim/sim_clock.h"
 
 using namespace anu;
 using namespace anu::proto;
@@ -43,9 +45,10 @@ int main() {
   const std::vector<double> speeds{1.0, 3.0, 5.0, 7.0, 9.0};
 
   sim::Simulation sim;
-  Network network(sim, NetworkConfig{}, kServers);
+  sim::SimClock clock(sim);
+  Network network(clock, NetworkConfig{}, kServers);
   ProtocolCluster cluster(
-      sim, network, ProtocolConfig{}, kServers,
+      clock, network, ProtocolConfig{}, kServers,
       [&](std::uint32_t s, UnitPoint share) {
         // Data-plane stand-in: latency tracks share/speed.
         return balance::ServerReport{

@@ -5,9 +5,10 @@
 #   scripts/check.sh tsan         # just the ThreadSanitizer pass
 #   scripts/check.sh format lint  # any subset, in the order given
 #
-# Tiers: format docs lint build test tidy asan tsan bench
+# Tiers: format docs lint build test integration tidy asan tsan bench
 # (.github/workflows/ci.yml mirrors these stages — docs/ci.md; the
-# static-analysis tiers are specified in docs/static-analysis.md.)
+# static-analysis tiers are specified in docs/static-analysis.md; the
+# integration tier boots the live anu_serve demo — docs/runtime.md.)
 # Optional tools (clang-format, clang-tidy, python3, sanitizer runtimes)
 # degrade to a loud skip rather than a silent pass or a hard failure, so
 # the script stays runnable in minimal containers.
@@ -74,6 +75,19 @@ tier_test() {
   ctest --test-dir build --output-on-failure --timeout "$CTEST_TIMEOUT"
 }
 
+tier_integration() {
+  # Live-runtime integration test: boot anu_serve on loopback sockets,
+  # drive the scripted client, assert routed keys + >=1 retune
+  # (scripts/integration_test.sh — docs/runtime.md). Needs the demo built;
+  # reuses the build tier's tree.
+  [ -x build/examples/anu_serve ] || {
+    cmake -B build -G Ninja
+    cmake --build build --target anu_serve
+  }
+  echo "=== anu_serve integration test ==="
+  ./scripts/integration_test.sh build
+}
+
 tier_tidy() {
   # clang-tidy over the library and harness sources, configured by
   # .clang-tidy at the repo root. Needs the compile database, which every
@@ -138,7 +152,7 @@ tier_bench() {
   done
 }
 
-ALL_TIERS=(format docs lint build test tidy asan tsan bench)
+ALL_TIERS=(format docs lint build test integration tidy asan tsan bench)
 TIERS=("$@")
 if [ ${#TIERS[@]} -eq 0 ]; then
   TIERS=("${ALL_TIERS[@]}")
@@ -146,7 +160,7 @@ fi
 
 for tier in "${TIERS[@]}"; do
   case "$tier" in
-    format|docs|lint|build|test|tidy|asan|tsan|bench)
+    format|docs|lint|build|test|integration|tidy|asan|tsan|bench)
       "tier_$tier"
       ;;
     all)

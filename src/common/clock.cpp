@@ -1,0 +1,50 @@
+#include "common/clock.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace anu {
+
+void TimerHandle::cancel() {
+  if (clock_ == nullptr) return;
+  cancel_requested_ = true;
+  clock_->cancel_timer(a_, b_);
+}
+
+bool TimerHandle::cancelled() const {
+  if (cancel_requested_) return true;
+  if (clock_ == nullptr) return false;
+  return clock_->timer_cancelled(a_, b_);
+}
+
+TimerHandle Clock::schedule_after(SimTime delay, Action action) {
+  ANU_REQUIRE(delay >= 0.0);
+  return schedule_at(now() + delay, std::move(action));
+}
+
+PeriodicTimer::PeriodicTimer(Clock& clock, SimTime interval, Tick tick)
+    : clock_(clock), interval_(interval), tick_(std::move(tick)) {
+  ANU_REQUIRE(interval > 0.0);
+  ANU_REQUIRE(tick_ != nullptr);
+  arm();
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::stop() {
+  stopped_ = true;
+  next_.cancel();
+}
+
+void PeriodicTimer::arm() {
+  next_ = clock_.schedule_after(interval_, [this] {
+    if (stopped_) return;
+    ++fired_;
+    // Re-arm before the tick so a tick that stops the timer wins.
+    arm();
+    tick_(clock_.now());
+  });
+}
+
+}  // namespace anu

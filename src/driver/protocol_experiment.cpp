@@ -3,6 +3,7 @@
 #include "common/assert.h"
 #include "metrics/latency_tracker.h"
 #include "metrics/movement_tracker.h"
+#include "sim/sim_clock.h"
 #include "sim/simulation.h"
 
 namespace anu::driver {
@@ -18,7 +19,8 @@ ExperimentResult run_protocol_experiment(
   obs::TraceSink* const trace = config.trace;
   sim.set_trace(trace);
   cluster::Cluster cluster(sim, config.cluster);
-  proto::Network network(sim, config.network, servers);
+  sim::SimClock clock(sim);
+  proto::Network network(clock, config.network, servers);
   if (config.faults != nullptr) network.set_fault_plan(config.faults);
   metrics::LatencyTracker latency(servers);
 
@@ -30,7 +32,7 @@ ExperimentResult run_protocol_experiment(
   // Latency reports come from the real queueing servers: the protocol tick
   // pulls each server's interval statistics.
   proto::ProtocolCluster protocol(
-      sim, network, config.protocol, servers,
+      clock, network, config.protocol, servers,
       [&cluster](std::uint32_t s, UnitPoint /*share*/) {
         const auto report =
             cluster.server(ServerId(s)).take_interval_report();

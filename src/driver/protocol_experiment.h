@@ -25,6 +25,7 @@
 #include "cluster/failure_schedule.h"
 #include "driver/experiment.h"
 #include "faults/fault_plan.h"
+#include "proto/network.h"
 #include "proto/protocol.h"
 #include "workload/workload.h"
 

@@ -21,9 +21,9 @@ void trace_message(obs::TraceSink* trace, SimTime now, obs::EventType type,
 
 }  // namespace
 
-Network::Network(sim::Simulation& simulation, const NetworkConfig& config,
+Network::Network(anu::Clock& clock, const NetworkConfig& config,
                  std::size_t node_count)
-    : sim_(simulation),
+    : clock_(clock),
       config_(config),
       rng_(config.seed),
       handlers_(node_count),
@@ -54,15 +54,15 @@ void Network::transmit(std::uint32_t from, std::uint32_t to,
                        double extra_delay) {
   ++sent_;
   bytes_ += size;
-  if (auto* t = sim_.trace()) {
-    trace_message(t, sim_.now(), obs::EventType::kMessageSend, from, to,
+  if (auto* t = clock_.trace()) {
+    trace_message(t, clock_.now(), obs::EventType::kMessageSend, from, to,
                   message, size);
   }
   const double delay =
       (config_.base_delay + config_.per_byte * static_cast<double>(size)) *
           (1.0 + config_.jitter * rng_.next_double()) +
       extra_delay;
-  sim_.schedule_after(delay, [this, from, to, size, msg = message] {
+  clock_.schedule_after(delay, [this, from, to, size, msg = message] {
     // Deliverability re-checked at delivery time: the receiver may have
     // failed while the message was in flight.
     if (!up_[to] || !handlers_[to]) {
@@ -70,8 +70,8 @@ void Network::transmit(std::uint32_t from, std::uint32_t to,
       return;
     }
     ++delivered_;
-    if (auto* t = sim_.trace()) {
-      trace_message(t, sim_.now(), obs::EventType::kMessageRecv, from, to,
+    if (auto* t = clock_.trace()) {
+      trace_message(t, clock_.now(), obs::EventType::kMessageRecv, from, to,
                     msg, size);
     }
     handlers_[to](from, msg);
@@ -90,13 +90,13 @@ void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
   std::uint32_t copies = 1;
   double extra_delay = 0.0;
   if (faults_ != nullptr) {
-    const auto decision = faults_->decide(from, to, sim_.now());
+    const auto decision = faults_->decide(from, to, clock_.now());
     if (decision.drop) {
       ++dropped_injected_;
       if (decision.partitioned) {
         // A partition cut severs the link outright — nothing transmitted.
-        if (auto* t = sim_.trace()) {
-          t->emit(sim_.now(), obs::EventType::kFaultInject, from, to,
+        if (auto* t = clock_.trace()) {
+          t->emit(clock_.now(), obs::EventType::kFaultInject, from, to,
                   static_cast<std::uint32_t>(obs::FaultCause::kPartition));
         }
         return;
@@ -105,22 +105,22 @@ void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
       // spent, so the bytes are charged.
       ++sent_;
       bytes_ += size;
-      if (auto* t = sim_.trace()) {
-        t->emit(sim_.now(), obs::EventType::kFaultInject, from, to,
+      if (auto* t = clock_.trace()) {
+        t->emit(clock_.now(), obs::EventType::kFaultInject, from, to,
                 static_cast<std::uint32_t>(obs::FaultCause::kLoss));
       }
       return;
     }
     copies = decision.copies;
     extra_delay = decision.extra_delay;
-    if (auto* t = sim_.trace()) {
+    if (auto* t = clock_.trace()) {
       if (copies > 1) {
-        t->emit(sim_.now(), obs::EventType::kFaultInject, from, to,
+        t->emit(clock_.now(), obs::EventType::kFaultInject, from, to,
                 static_cast<std::uint32_t>(obs::FaultCause::kDuplicate),
                 static_cast<double>(copies));
       }
       if (extra_delay > 0.0) {
-        t->emit(sim_.now(), obs::EventType::kFaultInject, from, to,
+        t->emit(clock_.now(), obs::EventType::kFaultInject, from, to,
                 static_cast<std::uint32_t>(obs::FaultCause::kDelay),
                 extra_delay);
       }
@@ -131,12 +131,6 @@ void Network::send(std::uint32_t from, std::uint32_t to, Message message) {
     // Each copy draws its own jitter, so duplicates can arrive reordered;
     // the injected extra delay applies to the original only.
     transmit(from, to, message, size, copy == 0 ? extra_delay : 0.0);
-  }
-}
-
-void Network::broadcast(std::uint32_t from, const Message& message) {
-  for (std::uint32_t node = 0; node < handlers_.size(); ++node) {
-    if (node != from) send(from, node, message);
   }
 }
 

@@ -1,4 +1,5 @@
-// Simulated message-passing network for the control protocol.
+// Simulated message-passing network for the control protocol — the
+// sim-side implementation of the Transport interface (transport.h).
 //
 // Point-to-point delivery with configurable base latency, per-byte cost and
 // deterministic jitter. Messages to a down node are dropped silently (the
@@ -23,10 +24,11 @@
 #include <functional>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "faults/fault_plan.h"
 #include "proto/messages.h"
-#include "sim/simulation.h"
+#include "proto/transport.h"
 
 namespace anu::proto {
 
@@ -41,22 +43,21 @@ struct NetworkConfig {
   std::uint64_t seed = 0x6e6574ULL;
 };
 
-class Network {
+class Network final : public Transport {
  public:
-  using Handler = std::function<void(std::uint32_t from, const Message&)>;
-
-  Network(sim::Simulation& simulation, const NetworkConfig& config,
+  /// The clock models delivery delay: any anu::Clock works, so the same
+  /// Network runs under the simulator (sim::SimClock — the usual case) or
+  /// a realtime clock (tests of the runtime stack reuse it as a faultable
+  /// in-process transport).
+  Network(anu::Clock& clock, const NetworkConfig& config,
           std::size_t node_count);
 
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
   /// Registers the receive handler of one node.
-  void attach(std::uint32_t node, Handler handler);
+  void attach(std::uint32_t node, Handler handler) override;
 
   /// Marks a node down/up; messages to (and from) down nodes are dropped.
-  void set_node_up(std::uint32_t node, bool up);
-  [[nodiscard]] bool node_up(std::uint32_t node) const;
+  void set_node_up(std::uint32_t node, bool up) override;
+  [[nodiscard]] bool node_up(std::uint32_t node) const override;
 
   /// Attaches a fault-injection plan consulted once per send. Null detaches
   /// (the default: a clean network). Caller-owned; must outlive the run.
@@ -64,9 +65,7 @@ class Network {
   [[nodiscard]] faults::FaultPlan* fault_plan() const { return faults_; }
 
   /// Sends a message; delivery is scheduled after the modelled delay.
-  void send(std::uint32_t from, std::uint32_t to, Message message);
-  /// Sends to every up node except `from`.
-  void broadcast(std::uint32_t from, const Message& message);
+  void send(std::uint32_t from, std::uint32_t to, Message message) override;
 
   /// Transmissions accepted onto the wire (includes injected duplicates).
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
@@ -89,13 +88,15 @@ class Network {
     return duplicates_;
   }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
-  [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
+  [[nodiscard]] std::size_t node_count() const override {
+    return handlers_.size();
+  }
 
  private:
   void transmit(std::uint32_t from, std::uint32_t to, const Message& message,
                 std::size_t size, double extra_delay);
 
-  sim::Simulation& sim_;
+  anu::Clock& clock_;
   NetworkConfig config_;
   Xoshiro256 rng_;
   faults::FaultPlan* faults_ = nullptr;

@@ -8,19 +8,18 @@
 
 namespace anu::proto {
 
-ProtocolCluster::ProtocolCluster(sim::Simulation& simulation,
-                                 Network& network,
+ProtocolCluster::ProtocolCluster(anu::Clock& clock, Transport& network,
                                  const ProtocolConfig& config,
                                  std::size_t server_count,
                                  LatencyModel latency_model)
-    : sim_(simulation),
+    : clock_(clock),
       network_(network),
       config_(config),
       latency_model_(std::move(latency_model)),
       family_(config.hash_seed),
       retry_rng_(config.retransmit.seed),
       nodes_(server_count),
-      ticker_(simulation, config.tuning_interval,
+      ticker_(clock, config.tuning_interval,
               [this](SimTime now) { on_tick(now); }) {
   ANU_REQUIRE(server_count > 0);
   ANU_REQUIRE(network.node_count() == server_count);
@@ -45,8 +44,8 @@ ProtocolCluster::ProtocolCluster(sim::Simulation& simulation,
     for (std::uint32_t s = 0; s < server_count; ++s) {
       views_.emplace_back(config_.heartbeat, server_count, s);
     }
-    heartbeat_ticker_ = std::make_unique<sim::PeriodicMonitor>(
-        simulation, config_.heartbeat.interval, [this](SimTime) {
+    heartbeat_ticker_ = std::make_unique<anu::PeriodicTimer>(
+        clock, config_.heartbeat.interval, [this](SimTime) {
           for (std::uint32_t s = 0; s < nodes_.size(); ++s) {
             if (nodes_[s].up) network_.broadcast(s, Heartbeat{s});
           }
@@ -67,12 +66,12 @@ void ProtocolCluster::fail_server(std::uint32_t server) {
   drop_pending(server);
   network_.set_node_up(server, false);
   // The server_fail event itself is emitted by the data-plane Cluster
-  // sharing this Simulation; this layer records only the election outcome.
+  // sharing this clock; this layer records only the election outcome.
   // Oracle-membership election is instantaneous; under heartbeats each
   // node's believed delegate converges via its local detector instead.
-  if (auto* t = sim_.trace()) {
+  if (auto* t = clock_.trace()) {
     if (delegate() != before) {
-      t->emit(sim_.now(), obs::EventType::kDelegateElected, delegate(),
+      t->emit(clock_.now(), obs::EventType::kDelegateElected, delegate(),
               before);
     }
   }
@@ -84,9 +83,9 @@ void ProtocolCluster::recover_server(std::uint32_t server) {
   const std::uint32_t before = delegate();
   nodes_[server].up = true;
   network_.set_node_up(server, true);
-  if (auto* t = sim_.trace()) {
+  if (auto* t = clock_.trace()) {
     if (delegate() != before) {
-      t->emit(sim_.now(), obs::EventType::kDelegateElected, delegate(),
+      t->emit(clock_.now(), obs::EventType::kDelegateElected, delegate(),
               before);
     }
   }
@@ -116,7 +115,7 @@ std::uint32_t ProtocolCluster::delegate() const {
 std::uint32_t ProtocolCluster::believed_delegate_of(std::uint32_t self) const {
   ANU_REQUIRE(self < nodes_.size());
   if (!config_.use_heartbeats) return delegate();
-  return views_[self].believed_delegate(sim_.now());
+  return views_[self].believed_delegate(clock_.now());
 }
 
 bool ProtocolCluster::believed_up(std::uint32_t self,
@@ -124,7 +123,7 @@ bool ProtocolCluster::believed_up(std::uint32_t self,
   ANU_REQUIRE(self < nodes_.size());
   ANU_REQUIRE(peer < nodes_.size());
   if (!config_.use_heartbeats) return nodes_[peer].up;
-  return views_[self].believes_up(peer, sim_.now());
+  return views_[self].believes_up(peer, clock_.now());
 }
 
 const core::RegionMap& ProtocolCluster::map_of(std::uint32_t server) const {
@@ -207,7 +206,7 @@ void ProtocolCluster::arm_retransmit(std::uint32_t self, std::uint64_t seq) {
   const double timeout =
       it->second.rto *
       (1.0 + config_.retransmit.jitter * retry_rng_.next_double());
-  it->second.timer = sim_.schedule_after(
+  it->second.timer = clock_.schedule_after(
       timeout, [this, self, seq] { on_retransmit_timer(self, seq); });
 }
 
@@ -227,8 +226,8 @@ void ProtocolCluster::on_retransmit_timer(std::uint32_t self,
   }
   ++pending.attempts;
   ++retransmits_;
-  if (auto* t = sim_.trace()) {
-    t->emit(sim_.now(), obs::EventType::kRetransmit, self, pending.to,
+  if (auto* t = clock_.trace()) {
+    t->emit(clock_.now(), obs::EventType::kRetransmit, self, pending.to,
             pending.attempts, pending.rto);
   }
   network_.send(self, pending.to, pending.message);
@@ -269,7 +268,7 @@ void ProtocolCluster::on_message(std::uint32_t self, std::uint32_t from,
   Node& node = nodes_[self];
   if (!node.up) return;
   // Any received message proves the sender was alive when it sent.
-  if (config_.use_heartbeats) views_[self].heard_from(from, sim_.now());
+  if (config_.use_heartbeats) views_[self].heard_from(from, clock_.now());
   if (const auto* ack = std::get_if<Ack>(&message)) {
     const auto it = node.pending.find(ack->seq);
     if (it != node.pending.end()) {
@@ -315,7 +314,7 @@ void ProtocolCluster::delegate_collect(std::uint32_t self,
     std::fill(node.round_reports.begin(), node.round_reports.end(),
               std::nullopt);
     node.grace_deadline.cancel();
-    node.grace_deadline = sim_.schedule_after(
+    node.grace_deadline = clock_.schedule_after(
         config_.report_grace, [this, self] { delegate_tune(self); });
   }
   node.round_reports[report.server] = report.report;
@@ -355,7 +354,7 @@ void ProtocolCluster::delegate_tune(std::uint32_t self) {
     }
   }
   const auto decision =
-      core::run_delegate_round(inputs, config_.tuner, sim_.trace(), sim_.now());
+      core::run_delegate_round(inputs, config_.tuner, clock_.trace(), clock_.now());
   // Tune into a copy: node.map must stay the previous configuration until
   // apply_update runs, so the delegate computes its shed notices from the
   // same (previous, new) pair as every other node.
@@ -408,8 +407,8 @@ void ProtocolCluster::apply_update(std::uint32_t self,
     ++sheds;
     if (on_shed) on_shed(fs, self, after.value());
   }
-  if (auto* t = sim_.trace()) {
-    t->emit(sim_.now(), obs::EventType::kMapApply, self,
+  if (auto* t = clock_.trace()) {
+    t->emit(clock_.now(), obs::EventType::kMapApply, self,
             static_cast<std::uint32_t>(update.version), sheds);
   }
 }

@@ -41,14 +41,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/rng.h"
 
 #include "core/region_map.h"
 #include "core/tuner.h"
 #include "hash/hash_family.h"
 #include "proto/heartbeat.h"
-#include "proto/network.h"
-#include "sim/monitor.h"
+#include "proto/transport.h"
 
 namespace anu::proto {
 
@@ -99,7 +99,11 @@ using LatencyModel = std::function<balance::ServerReport(
 
 class ProtocolCluster {
  public:
-  ProtocolCluster(sim::Simulation& simulation, Network& network,
+  /// The cluster is clock- and transport-agnostic: under the simulator pass
+  /// a sim::SimClock and a proto::Network; under the realtime runtime pass
+  /// a runtime::RealtimeClock and a runtime::UdpTransport. Nothing in this
+  /// class (or below it in core/) knows which it got.
+  ProtocolCluster(anu::Clock& clock, Transport& network,
                   const ProtocolConfig& config, std::size_t server_count,
                   LatencyModel latency_model);
 
@@ -160,7 +164,7 @@ class ProtocolCluster {
     std::uint32_t to = 0;
     std::uint32_t attempts = 1;  // transmissions so far
     double rto = 0.0;            // next timeout (pre-jitter)
-    sim::EventHandle timer;
+    anu::TimerHandle timer;
   };
 
   struct Node {
@@ -180,7 +184,7 @@ class ProtocolCluster {
     std::vector<std::optional<balance::ServerReport>> round_reports;
     std::uint64_t collecting_round = 0;
     std::uint64_t last_tuned_round = 0;  // guards against double-tuning
-    sim::EventHandle grace_deadline;
+    anu::TimerHandle grace_deadline;
   };
 
   void on_message(std::uint32_t self, std::uint32_t from,
@@ -199,8 +203,8 @@ class ProtocolCluster {
   void on_retransmit_timer(std::uint32_t self, std::uint64_t seq);
   void drop_pending(std::uint32_t self);
 
-  sim::Simulation& sim_;
-  Network& network_;
+  anu::Clock& clock_;
+  Transport& network_;
   ProtocolConfig config_;
   LatencyModel latency_model_;
   HashFamily family_;
@@ -214,8 +218,8 @@ class ProtocolCluster {
   std::uint64_t acks_received_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
   std::uint64_t retries_abandoned_ = 0;
-  sim::PeriodicMonitor ticker_;
-  std::unique_ptr<sim::PeriodicMonitor> heartbeat_ticker_;
+  anu::PeriodicTimer ticker_;
+  std::unique_ptr<anu::PeriodicTimer> heartbeat_ticker_;
 };
 
 }  // namespace anu::proto

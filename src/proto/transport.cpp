@@ -1,0 +1,11 @@
+#include "proto/transport.h"
+
+namespace anu::proto {
+
+void Transport::broadcast(std::uint32_t from, const Message& message) {
+  for (std::uint32_t node = 0; node < node_count(); ++node) {
+    if (node != from) send(from, node, message);
+  }
+}
+
+}  // namespace anu::proto

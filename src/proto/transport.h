@@ -1,0 +1,53 @@
+// The transport seam under the control protocol.
+//
+// ProtocolCluster (protocol.h) speaks to its peers through this narrow
+// interface: point-to-point datagram delivery between a fixed set of
+// numbered nodes, with per-node admin up/down gating. Two implementations:
+//
+//   * proto::Network — the simulated network (network.h): modelled latency,
+//     deterministic jitter, fault injection, byte accounting;
+//   * runtime::UdpTransport — real loopback/UDP sockets (src/runtime), the
+//     transport `anu_serve` and embeddings run on.
+//
+// Delivery is best-effort on both: messages to down nodes vanish, and the
+// real transport adds whatever loss the kernel feels like. The protocol is
+// built for exactly that (acks, retransmits, version-monotonic updates), so
+// nothing above this interface needs to know which transport it is on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "proto/messages.h"
+
+namespace anu::proto {
+
+class Transport {
+ public:
+  /// Receive callback of one node: (sender, message).
+  using Handler = std::function<void(std::uint32_t from, const Message&)>;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  virtual ~Transport() = default;
+
+  /// Registers the receive handler of one node.
+  virtual void attach(std::uint32_t node, Handler handler) = 0;
+
+  /// Marks a node down/up; messages to (and from) down nodes are dropped.
+  virtual void set_node_up(std::uint32_t node, bool up) = 0;
+  [[nodiscard]] virtual bool node_up(std::uint32_t node) const = 0;
+
+  /// Sends a message; delivery is asynchronous and best-effort.
+  virtual void send(std::uint32_t from, std::uint32_t to,
+                    Message message) = 0;
+
+  /// Sends to every node except `from` (down receivers drop at send).
+  virtual void broadcast(std::uint32_t from, const Message& message);
+
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+};
+
+}  // namespace anu::proto

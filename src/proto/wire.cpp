@@ -1,0 +1,178 @@
+#include "proto/wire.h"
+
+#include <cstring>
+
+namespace anu::proto {
+
+namespace {
+
+// Little-endian writers/readers over a byte vector. memcpy keeps them
+// alias-safe; on little-endian hosts the compiler folds them to plain
+// loads/stores.
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  b[0] = static_cast<std::uint8_t>(v);
+  b[1] = static_cast<std::uint8_t>(v >> 8);
+  b[2] = static_cast<std::uint8_t>(v >> 16);
+  b[3] = static_cast<std::uint8_t>(v >> 24);
+  out.insert(out.end(), b, b + 4);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Bounds-checked little-endian cursor; any short read marks it bad and
+/// every later read returns 0, so decode paths stay branch-light and check
+/// ok() once at the end.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    const std::uint8_t* b = data_ + pos_ - 4;
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(message.index()));
+  if (const auto* report = std::get_if<LatencyReport>(&message)) {
+    put_u32(out, report->server);
+    put_u64(out, report->round);
+    put_u64(out, report->seq);
+    put_f64(out, report->report.mean_latency);
+    put_u64(out, static_cast<std::uint64_t>(report->report.completed));
+  } else if (const auto* update = std::get_if<RegionMapUpdate>(&message)) {
+    put_u64(out, update->version);
+    put_u64(out, update->round);
+    put_u64(out, update->seq);
+    put_u32(out, static_cast<std::uint32_t>(update->partitions.size()));
+    for (const auto& [owner, prefix] : update->partitions) {
+      put_u32(out, owner);
+      put_u64(out, prefix);
+    }
+  } else if (const auto* shed = std::get_if<ShedNotice>(&message)) {
+    put_u32(out, shed->file_set);
+    put_u32(out, shed->from);
+    put_u32(out, shed->to);
+  } else if (const auto* beat = std::get_if<Heartbeat>(&message)) {
+    put_u32(out, beat->server);
+  } else if (const auto* ack = std::get_if<Ack>(&message)) {
+    put_u64(out, ack->seq);
+  }
+  return out;
+}
+
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return std::nullopt;
+  Reader in(data + 1, size - 1);
+  Message message;
+  switch (data[0]) {
+    case 0: {
+      LatencyReport report;
+      report.server = in.u32();
+      report.round = in.u64();
+      report.seq = in.u64();
+      report.report.mean_latency = in.f64();
+      report.report.completed = static_cast<std::size_t>(in.u64());
+      message = report;
+      break;
+    }
+    case 1: {
+      RegionMapUpdate update;
+      update.version = in.u64();
+      update.round = in.u64();
+      update.seq = in.u64();
+      const std::uint32_t count = in.u32();
+      // Each entry is 12 bytes; a count the remaining payload cannot hold
+      // is a malformed (or hostile) datagram, not an allocation request.
+      if (!in.ok() || in.remaining() != std::size_t{count} * 12) {
+        return std::nullopt;
+      }
+      update.partitions.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t owner = in.u32();
+        const std::uint64_t prefix = in.u64();
+        update.partitions.emplace_back(owner, prefix);
+      }
+      message = std::move(update);
+      break;
+    }
+    case 2: {
+      ShedNotice shed;
+      shed.file_set = in.u32();
+      shed.from = in.u32();
+      shed.to = in.u32();
+      message = shed;
+      break;
+    }
+    case 3: {
+      Heartbeat beat;
+      beat.server = in.u32();
+      message = beat;
+      break;
+    }
+    case 4: {
+      Ack ack;
+      ack.seq = in.u64();
+      message = ack;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!in.exhausted()) return std::nullopt;
+  return message;
+}
+
+}  // namespace anu::proto

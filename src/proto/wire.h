@@ -1,0 +1,42 @@
+// Binary codec for protocol Messages — what runtime::UdpTransport puts on
+// real sockets.
+//
+// The simulated Network never serializes (it passes Message values and
+// charges wire_size() for cost accounting); the realtime transport has to.
+// The format is deliberately simple and explicit:
+//
+//   byte 0      : kind tag (the Message variant index)
+//   bytes 1..   : fields in declaration order, little-endian fixed width;
+//                 doubles as IEEE-754 bit patterns; the RegionMapUpdate
+//                 partition table as a u32 count then (u32 owner, u64
+//                 prefix) pairs.
+//
+// decode() is total: any malformed datagram (short read, unknown tag,
+// trailing bytes, absurd partition count) returns nullopt rather than
+// asserting, because the bytes come from a socket, not from this process.
+// encode()/decode() round-trip exactly (tests/wire_test.cpp), including
+// wire sizes larger than the modelled wire_size() — the model charges the
+// paper's idealized cost, the codec pays the real one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "proto/messages.h"
+
+namespace anu::proto {
+
+/// Serializes `message` to a self-contained datagram payload.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& message);
+
+/// Parses one datagram payload; nullopt on any malformed input.
+[[nodiscard]] std::optional<Message> decode(const std::uint8_t* data,
+                                            std::size_t size);
+
+[[nodiscard]] inline std::optional<Message> decode(
+    const std::vector<std::uint8_t>& bytes) {
+  return decode(bytes.data(), bytes.size());
+}
+
+}  // namespace anu::proto

@@ -1,0 +1,111 @@
+#include "runtime/serve_config.h"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace anu::runtime {
+
+namespace {
+
+bool fail(ServeConfigError* error, std::size_t line, std::string message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = std::move(message);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ServeSpec> parse_serve_config(std::istream& is,
+                                            ServeConfigError* error) {
+  ServeSpec spec;
+  spec.slow_factors.clear();
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string key;
+    if (!(line >> key)) continue;  // blank or comment-only
+
+    auto want_double = [&](double& out) {
+      if (line >> out) return true;
+      fail(error, lineno, "expected a number after '" + key + "'");
+      return false;
+    };
+    if (key == "servers") {
+      if (!(line >> spec.servers) || spec.servers == 0) {
+        fail(error, lineno, "servers must be a positive integer");
+        return std::nullopt;
+      }
+    } else if (key == "port") {
+      unsigned value = 0;
+      if (!(line >> value) || value > 65535) {
+        fail(error, lineno, "port must be 0..65535");
+        return std::nullopt;
+      }
+      spec.port = static_cast<std::uint16_t>(value);
+    } else if (key == "tuning_interval_s") {
+      if (!want_double(spec.tuning_interval)) return std::nullopt;
+    } else if (key == "report_grace_s") {
+      if (!want_double(spec.report_grace)) return std::nullopt;
+    } else if (key == "heartbeats") {
+      std::string value;
+      line >> value;
+      if (value == "on") {
+        spec.use_heartbeats = true;
+      } else if (value == "off") {
+        spec.use_heartbeats = false;
+      } else {
+        fail(error, lineno, "heartbeats must be 'on' or 'off'");
+        return std::nullopt;
+      }
+    } else if (key == "heartbeat_interval_s") {
+      if (!want_double(spec.heartbeat_interval)) return std::nullopt;
+    } else if (key == "run_seconds") {
+      if (!want_double(spec.run_seconds)) return std::nullopt;
+    } else if (key == "slow_factors") {
+      double factor = 0.0;
+      while (line >> factor) spec.slow_factors.push_back(factor);
+    } else if (key == "hash_seed") {
+      if (!(line >> spec.hash_seed)) {
+        fail(error, lineno, "hash_seed must be an unsigned integer");
+        return std::nullopt;
+      }
+    } else {
+      fail(error, lineno, "unknown key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  if (spec.tuning_interval <= 0.0 || spec.report_grace <= 0.0 ||
+      spec.heartbeat_interval <= 0.0 || spec.run_seconds < 0.0) {
+    fail(error, lineno, "intervals must be positive");
+    return std::nullopt;
+  }
+  if (spec.slow_factors.size() > spec.servers) {
+    fail(error, lineno, "more slow_factors than servers");
+    return std::nullopt;
+  }
+  spec.slow_factors.resize(spec.servers, 1.0);
+  return spec;
+}
+
+void write_serve_config(std::ostream& os, const ServeSpec& spec) {
+  os << "servers " << spec.servers << "\n";
+  os << "port " << spec.port << "\n";
+  os << "tuning_interval_s " << spec.tuning_interval << "\n";
+  os << "report_grace_s " << spec.report_grace << "\n";
+  os << "heartbeats " << (spec.use_heartbeats ? "on" : "off") << "\n";
+  os << "heartbeat_interval_s " << spec.heartbeat_interval << "\n";
+  os << "run_seconds " << spec.run_seconds << "\n";
+  os << "slow_factors";
+  for (const double factor : spec.slow_factors) os << " " << factor;
+  os << "\n";
+  os << "hash_seed " << spec.hash_seed << "\n";
+}
+
+}  // namespace anu::runtime

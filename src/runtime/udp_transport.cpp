@@ -1,0 +1,149 @@
+#include "runtime/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/assert.h"
+#include "proto/wire.h"
+
+namespace anu::runtime {
+
+namespace {
+
+/// Datagram frame: 4-byte little-endian sender node id, then the encoded
+/// Message (proto/wire.h). The id routes the receive callback; a sender id
+/// out of range marks a stray datagram and is dropped.
+constexpr std::size_t kFramePrefix = 4;
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(std::size_t node_count)
+    : fds_(node_count, -1),
+      ports_(node_count, 0),
+      handlers_(node_count),
+      up_(node_count, true) {
+  ANU_REQUIRE(node_count > 0);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    ANU_REQUIRE(fd >= 0);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ANU_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+    sockaddr_in addr = loopback_addr(0);  // kernel picks the port
+    ANU_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) == 0);
+    socklen_t len = sizeof(addr);
+    ANU_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                              &len) == 0);
+    fds_[n] = fd;
+    ports_[n] = ntohs(addr.sin_port);
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  for (const int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void UdpTransport::attach(std::uint32_t node, Handler handler) {
+  ANU_REQUIRE(node < handlers_.size());
+  handlers_[node] = std::move(handler);
+}
+
+void UdpTransport::set_node_up(std::uint32_t node, bool up) {
+  ANU_REQUIRE(node < up_.size());
+  up_[node] = up;
+}
+
+bool UdpTransport::node_up(std::uint32_t node) const {
+  ANU_REQUIRE(node < up_.size());
+  return up_[node];
+}
+
+std::uint16_t UdpTransport::port_of(std::uint32_t node) const {
+  ANU_REQUIRE(node < ports_.size());
+  return ports_[node];
+}
+
+void UdpTransport::send(std::uint32_t from, std::uint32_t to,
+                        proto::Message message) {
+  ANU_REQUIRE(from < fds_.size());
+  ANU_REQUIRE(to < fds_.size());
+  if (!up_[from] || !up_[to]) {
+    ++dropped_;
+    return;
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFramePrefix + 64);
+  frame.push_back(static_cast<std::uint8_t>(from));
+  frame.push_back(static_cast<std::uint8_t>(from >> 8));
+  frame.push_back(static_cast<std::uint8_t>(from >> 16));
+  frame.push_back(static_cast<std::uint8_t>(from >> 24));
+  const auto payload = proto::encode(message);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const sockaddr_in dest = loopback_addr(ports_[to]);
+  const auto n = ::sendto(fds_[from], frame.data(), frame.size(), 0,
+                          reinterpret_cast<const sockaddr*>(&dest),
+                          sizeof(dest));
+  // A full socket buffer (EWOULDBLOCK) or any other send failure is plain
+  // datagram loss; the protocol's ack/retransmit layer recovers.
+  if (n == static_cast<ssize_t>(frame.size())) {
+    ++sent_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::size_t UdpTransport::pump() {
+  std::uint8_t buffer[65536];
+  std::size_t handled = 0;
+  for (std::uint32_t node = 0; node < fds_.size(); ++node) {
+    for (;;) {
+      const auto n = ::recv(fds_[node], buffer, sizeof(buffer), 0);
+      if (n < 0) break;  // EAGAIN (drained) or transient error: move on
+      if (!up_[node] || !handlers_[node]) {
+        ++dropped_;
+        continue;
+      }
+      if (static_cast<std::size_t>(n) < kFramePrefix + 1) {
+        ++dropped_;
+        continue;
+      }
+      const std::uint32_t from =
+          static_cast<std::uint32_t>(buffer[0]) |
+          (static_cast<std::uint32_t>(buffer[1]) << 8) |
+          (static_cast<std::uint32_t>(buffer[2]) << 16) |
+          (static_cast<std::uint32_t>(buffer[3]) << 24);
+      if (from >= fds_.size()) {
+        ++dropped_;
+        continue;
+      }
+      auto message = proto::decode(buffer + kFramePrefix,
+                                   static_cast<std::size_t>(n) - kFramePrefix);
+      if (!message.has_value()) {
+        ++dropped_;
+        continue;
+      }
+      ++delivered_;
+      ++handled;
+      handlers_[node](from, *message);
+    }
+  }
+  return handled;
+}
+
+}  // namespace anu::runtime

@@ -1,0 +1,64 @@
+// proto::Transport over real loopback UDP sockets.
+//
+// One non-blocking datagram socket per node, bound to 127.0.0.1 with a
+// kernel-assigned ephemeral port (so parallel test runs never fight over
+// port numbers). send() serializes through proto/wire.h, prefixes the
+// sender's node id, and sendto()s the receiver's port; pump() drains every
+// readable socket and dispatches the attached handlers. Datagrams that are
+// short, malformed, mis-addressed, or to/from an admin-down node are
+// counted and dropped — exactly the loss model the protocol is built for.
+//
+// Single-threaded like the rest of the runtime: call pump() from the event
+// loop when any fd is readable (fds() feeds the poll set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/transport.h"
+
+namespace anu::runtime {
+
+class UdpTransport final : public proto::Transport {
+ public:
+  /// Opens `node_count` loopback sockets. Aborts (ANU_REQUIRE) if sockets
+  /// cannot be created — no sensible degraded mode exists.
+  explicit UdpTransport(std::size_t node_count);
+  ~UdpTransport() override;
+
+  void attach(std::uint32_t node, Handler handler) override;
+  void set_node_up(std::uint32_t node, bool up) override;
+  [[nodiscard]] bool node_up(std::uint32_t node) const override;
+  void send(std::uint32_t from, std::uint32_t to,
+            proto::Message message) override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return fds_.size();
+  }
+
+  /// Reads every queued datagram off every socket and dispatches handlers;
+  /// returns the number of messages delivered.
+  std::size_t pump();
+
+  /// One fd per node, for the event loop's poll set.
+  [[nodiscard]] const std::vector<int>& fds() const { return fds_; }
+  /// The ephemeral port node `node` is bound to (host byte order).
+  [[nodiscard]] std::uint16_t port_of(std::uint32_t node) const;
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_delivered() const {
+    return delivered_;
+  }
+  /// Admin-down drops plus malformed/short datagrams.
+  [[nodiscard]] std::uint64_t datagrams_dropped() const { return dropped_; }
+
+ private:
+  std::vector<int> fds_;
+  std::vector<std::uint16_t> ports_;  // host byte order
+  std::vector<Handler> handlers_;
+  std::vector<bool> up_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace anu::runtime

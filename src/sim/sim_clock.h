@@ -1,0 +1,48 @@
+// anu::Clock over the discrete-event simulator.
+//
+// A zero-state adapter: schedule_at forwards straight to
+// sim::Simulation::schedule_at (same (time, seq) calendar, same slab), so
+// code driven through the Clock interface executes in exactly the event
+// order it had when it called the Simulation directly — which is what keeps
+// the 64-seed batch artifacts byte-identical across the clock refactor.
+// The handle words are the simulator's {slot, generation} ticket.
+#pragma once
+
+#include "common/clock.h"
+#include "sim/simulation.h"
+
+namespace anu::sim {
+
+class SimClock final : public anu::Clock {
+ public:
+  explicit SimClock(Simulation& simulation) : sim_(simulation) {}
+
+  [[nodiscard]] SimTime now() const override { return sim_.now(); }
+
+  anu::TimerHandle schedule_at(SimTime when, Action action) override {
+    const EventHandle handle = sim_.schedule_at(when, std::move(action));
+    return make_handle(handle.slot_, handle.generation_);
+  }
+
+  [[nodiscard]] obs::TraceSink* trace() const override { return sim_.trace(); }
+
+  [[nodiscard]] Simulation& simulation() { return sim_; }
+
+ private:
+  void cancel_timer(std::uint64_t a, std::uint64_t b) override {
+    EventHandle(&sim_, static_cast<std::uint32_t>(a),
+                static_cast<std::uint32_t>(b))
+        .cancel();
+  }
+
+  [[nodiscard]] bool timer_cancelled(std::uint64_t a,
+                                     std::uint64_t b) const override {
+    return EventHandle(&sim_, static_cast<std::uint32_t>(a),
+                       static_cast<std::uint32_t>(b))
+        .cancelled();
+  }
+
+  Simulation& sim_;
+};
+
+}  // namespace anu::sim

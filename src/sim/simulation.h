@@ -33,6 +33,7 @@ class TraceSink;
 namespace anu::sim {
 
 class Simulation;
+class SimClock;
 
 /// Cancellable handle to a scheduled event. Copyable; cancelling any copy
 /// cancels the event. Safe to destroy before or after the event fires; all
@@ -51,6 +52,9 @@ class EventHandle {
 
  private:
   friend class Simulation;
+  // The anu::Clock adapter packs {slot_, generation_} into its opaque
+  // handle words and reconstructs EventHandles to cancel through.
+  friend class SimClock;
   EventHandle(Simulation* sim, std::uint32_t slot, std::uint32_t generation)
       : sim_(sim), slot_(slot), generation_(generation) {}
 

@@ -60,6 +60,19 @@ def main() -> int:
         )
     if "uses_wallclock.cpp:7" not in out or "uses_wallclock.cpp:8" not in out:
         failures.append(f"bad_tree: wall-clock lines not both flagged\n{out}")
+    # The clock seam's directory policy: src/core must stay wall-clock-free
+    # even for the "harmless" steady clock, while src/runtime (whose job is
+    # real time) is exempt from wall-clock but still linted by every other
+    # rule — its std::rand must fire.
+    if ("uses_steady_now.cpp:9" not in out
+            or "uses_steady_now.cpp:10" not in out):
+        failures.append(f"bad_tree: steady clock in src/core not flagged\n{out}")
+    for line in out.splitlines():
+        if "realtime_ok.cpp" in line and "[wall-clock]" in line:
+            failures.append(f"bad_tree: wall-clock misfired in src/runtime\n{out}")
+    if not any("realtime_ok.cpp" in line and "[raw-rng]" in line
+               for line in out.splitlines()):
+        failures.append(f"bad_tree: raw-rng did not fire in src/runtime\n{out}")
 
     code, out = run_linter(REPO)
     if code != 0:

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "proto/network.h"
+#include "sim/sim_clock.h"
 #include "sim/simulation.h"
 
 namespace anu::faults {
@@ -147,7 +148,8 @@ proto::NetworkConfig quiet_network() {
 
 TEST(NetworkFaults, EndpointDownChargesNoBytes) {
   sim::Simulation sim;
-  proto::Network net(sim, quiet_network(), 2);
+  sim::SimClock clock(sim);
+  proto::Network net(clock, quiet_network(), 2);
   net.attach(0, [](std::uint32_t, const proto::Message&) {});
   net.attach(1, [](std::uint32_t, const proto::Message&) {});
   net.set_node_up(1, false);
@@ -162,7 +164,8 @@ TEST(NetworkFaults, EndpointDownChargesNoBytes) {
 
 TEST(NetworkFaults, InjectedLossChargesBytes) {
   sim::Simulation sim;
-  proto::Network net(sim, quiet_network(), 2);
+  sim::SimClock clock(sim);
+  proto::Network net(clock, quiet_network(), 2);
   net.attach(0, [](std::uint32_t, const proto::Message&) {});
   std::uint64_t received = 0;
   net.attach(1, [&](std::uint32_t, const proto::Message&) { ++received; });
@@ -185,7 +188,8 @@ TEST(NetworkFaults, InjectedLossChargesBytes) {
 
 TEST(NetworkFaults, PartitionDropChargesNothing) {
   sim::Simulation sim;
-  proto::Network net(sim, quiet_network(), 3);
+  sim::SimClock clock(sim);
+  proto::Network net(clock, quiet_network(), 3);
   for (std::uint32_t n = 0; n < 3; ++n) {
     net.attach(n, [](std::uint32_t, const proto::Message&) {});
   }
@@ -205,7 +209,8 @@ TEST(NetworkFaults, PartitionDropChargesNothing) {
 
 TEST(NetworkFaults, DuplicationDeliversTwiceAndChargesTwice) {
   sim::Simulation sim;
-  proto::Network net(sim, quiet_network(), 2);
+  sim::SimClock clock(sim);
+  proto::Network net(clock, quiet_network(), 2);
   net.attach(0, [](std::uint32_t, const proto::Message&) {});
   std::uint64_t received = 0;
   net.attach(1, [&](std::uint32_t, const proto::Message&) { ++received; });
@@ -226,7 +231,8 @@ TEST(NetworkFaults, DuplicationDeliversTwiceAndChargesTwice) {
 
 TEST(NetworkFaults, ReceiverFailingMidFlightIsEndpointDrop) {
   sim::Simulation sim;
-  proto::Network net(sim, quiet_network(), 2);
+  sim::SimClock clock(sim);
+  proto::Network net(clock, quiet_network(), 2);
   net.attach(0, [](std::uint32_t, const proto::Message&) {});
   net.attach(1, [](std::uint32_t, const proto::Message&) {});
   net.send(0, 1, proto::Heartbeat{0});

@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): a steady-clock read inside src/core.
+// core/ sits behind the anu::Clock seam and must NEVER consult real time
+// itself — even though the same call is fine one directory over in
+// src/runtime. tools/anu_lint.py must flag both lines with [wall-clock].
+#include <chrono>
+#include <ctime>
+
+double core_sneaks_a_clock() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<double>(clock()) + static_cast<double>(t.count());
+}

@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): src/runtime is the one tree where reading
+// real time is the point, so the wall-clock rule is waived there — nothing
+// in this file may be flagged [wall-clock]. Every other rule still applies:
+// the std::rand below must be flagged [raw-rng] to prove runtime/ is
+// linted, not skipped.
+#include <chrono>
+#include <cstdlib>
+
+double runtime_reads_real_time() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<double>(t.count()) + static_cast<double>(std::rand());
+}

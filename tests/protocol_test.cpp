@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "faults/fault_plan.h"
+#include "proto/network.h"
 #include "proto/protocol.h"
+#include "sim/sim_clock.h"
 
 namespace anu::proto {
 namespace {
@@ -12,10 +14,11 @@ namespace {
 
 TEST(Network, DeliversAfterDelay) {
   sim::Simulation sim;
+  sim::SimClock clock(sim);
   NetworkConfig config;
   config.base_delay = 0.01;
   config.jitter = 0.0;
-  Network net(sim, config, 2);
+  Network net(clock, config, 2);
   double delivered_at = -1.0;
   net.attach(1, [&](std::uint32_t from, const Message&) {
     EXPECT_EQ(from, 0u);
@@ -29,7 +32,8 @@ TEST(Network, DeliversAfterDelay) {
 
 TEST(Network, DropsToDownNode) {
   sim::Simulation sim;
-  Network net(sim, NetworkConfig{}, 2);
+  sim::SimClock clock(sim);
+  Network net(clock, NetworkConfig{}, 2);
   int received = 0;
   net.attach(1, [&](std::uint32_t, const Message&) { ++received; });
   net.set_node_up(1, false);
@@ -41,9 +45,10 @@ TEST(Network, DropsToDownNode) {
 
 TEST(Network, DropsInFlightWhenReceiverFails) {
   sim::Simulation sim;
+  sim::SimClock clock(sim);
   NetworkConfig config;
   config.base_delay = 1.0;
-  Network net(sim, config, 2);
+  Network net(clock, config, 2);
   int received = 0;
   net.attach(1, [&](std::uint32_t, const Message&) { ++received; });
   net.send(0, 1, ShedNotice{});
@@ -54,7 +59,8 @@ TEST(Network, DropsInFlightWhenReceiverFails) {
 
 TEST(Network, BroadcastReachesAllOthers) {
   sim::Simulation sim;
-  Network net(sim, NetworkConfig{}, 4);
+  sim::SimClock clock(sim);
+  Network net(clock, NetworkConfig{}, 4);
   int received = 0;
   for (std::uint32_t n = 0; n < 4; ++n) {
     net.attach(n, [&](std::uint32_t, const Message&) { ++received; });
@@ -66,7 +72,8 @@ TEST(Network, BroadcastReachesAllOthers) {
 
 TEST(Network, AccountsBytes) {
   sim::Simulation sim;
-  Network net(sim, NetworkConfig{}, 2);
+  sim::SimClock clock(sim);
+  Network net(clock, NetworkConfig{}, 2);
   net.attach(1, [](std::uint32_t, const Message&) {});
   RegionMapUpdate update;
   update.partitions.resize(16);
@@ -78,14 +85,15 @@ TEST(Network, AccountsBytes) {
 
 struct ProtoHarness {
   sim::Simulation sim;
+  sim::SimClock clock{sim};
   Network net;
   ProtocolCluster cluster;
 
   explicit ProtoHarness(std::size_t servers,
                         const std::vector<double>& speeds,
                         ProtocolConfig config = {})
-      : net(sim, NetworkConfig{}, servers),
-        cluster(sim, net, config, servers,
+      : net(clock, NetworkConfig{}, servers),
+        cluster(clock, net, config, servers,
                 [speeds](std::uint32_t s, UnitPoint share) {
                   // Data-plane model: latency proportional to share over
                   // speed; completions proportional to share.
@@ -173,15 +181,16 @@ TEST(Protocol, SlowNetworkStillConverges) {
   // Half a second of one-way delay (WAN-grade for a LAN protocol): rounds
   // still complete because the grace window waits out stragglers.
   sim::Simulation sim;
+  sim::SimClock clock(sim);
   NetworkConfig net_config;
   net_config.base_delay = 0.5;
   net_config.jitter = 0.3;
-  Network net(sim, net_config, 3);
+  Network net(clock, net_config, 3);
   ProtocolConfig config;
   config.report_grace = 2.0;
   const std::vector<double> speeds{1.0, 4.0, 8.0};
   ProtocolCluster cluster(
-      sim, net, config, 3, [&](std::uint32_t s, UnitPoint share) {
+      clock, net, config, 3, [&](std::uint32_t s, UnitPoint share) {
         return balance::ServerReport{share.to_double() / speeds[s] + 1e-6,
                                      100};
       });

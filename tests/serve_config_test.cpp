@@ -1,0 +1,138 @@
+// Tests for the anu_serve config format (runtime/serve_config.h): exact
+// parse/write round-trips — a spec printed by `anu_serve --dump-config`
+// must re-parse to the same run — plus line-accurate error reporting on
+// every way the format can be violated.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "runtime/serve_config.h"
+
+namespace anu::runtime {
+namespace {
+
+std::optional<ServeSpec> parse(const std::string& text,
+                               ServeConfigError* error = nullptr) {
+  std::istringstream is(text);
+  return parse_serve_config(is, error);
+}
+
+void expect_equal(const ServeSpec& a, const ServeSpec& b) {
+  EXPECT_EQ(a.servers, b.servers);
+  EXPECT_EQ(a.port, b.port);
+  EXPECT_DOUBLE_EQ(a.tuning_interval, b.tuning_interval);
+  EXPECT_DOUBLE_EQ(a.report_grace, b.report_grace);
+  EXPECT_EQ(a.use_heartbeats, b.use_heartbeats);
+  EXPECT_DOUBLE_EQ(a.heartbeat_interval, b.heartbeat_interval);
+  EXPECT_DOUBLE_EQ(a.run_seconds, b.run_seconds);
+  EXPECT_EQ(a.slow_factors, b.slow_factors);
+  EXPECT_EQ(a.hash_seed, b.hash_seed);
+}
+
+TEST(ServeConfig, DefaultsRoundTrip) {
+  ServeSpec spec;
+  spec.slow_factors.resize(spec.servers, 1.0);
+  std::ostringstream os;
+  write_serve_config(os, spec);
+  const auto parsed = parse(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  expect_equal(*parsed, spec);
+}
+
+TEST(ServeConfig, CustomSpecRoundTrips) {
+  ServeSpec spec;
+  spec.servers = 5;
+  spec.port = 0;
+  spec.tuning_interval = 0.5;
+  spec.report_grace = 0.125;
+  spec.use_heartbeats = false;
+  spec.heartbeat_interval = 0.0625;
+  spec.run_seconds = 12.5;
+  spec.slow_factors = {1.0, 1.0, 4.0, 1.0, 2.5};
+  spec.hash_seed = 424242;
+  std::ostringstream os;
+  write_serve_config(os, spec);
+  const auto parsed = parse(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  expect_equal(*parsed, spec);
+}
+
+TEST(ServeConfig, CommentsAndBlanksIgnored) {
+  const auto parsed = parse(
+      "# anu_serve demo cluster\n"
+      "\n"
+      "servers 4   # four nodes\n"
+      "heartbeats off\n"
+      "\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->servers, 4u);
+  EXPECT_FALSE(parsed->use_heartbeats);
+  // Unspecified keys keep their defaults; slow factors pad to 1.0.
+  EXPECT_EQ(parsed->port, ServeSpec{}.port);
+  EXPECT_EQ(parsed->slow_factors, (std::vector<double>{1.0, 1.0, 1.0, 1.0}));
+}
+
+TEST(ServeConfig, ShortSlowFactorListPadsWithOnes) {
+  const auto parsed = parse("servers 4\nslow_factors 2 3\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->slow_factors, (std::vector<double>{2.0, 3.0, 1.0, 1.0}));
+}
+
+TEST(ServeConfig, RejectsUnknownKeyWithLineNumber) {
+  ServeConfigError error;
+  const auto parsed = parse("servers 3\nbogus_key 1\n", &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("bogus_key"), std::string::npos);
+}
+
+TEST(ServeConfig, RejectsZeroServers) {
+  ServeConfigError error;
+  EXPECT_FALSE(parse("servers 0\n", &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+}
+
+TEST(ServeConfig, RejectsPortOutOfRange) {
+  ServeConfigError error;
+  EXPECT_FALSE(parse("port 70000\n", &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+}
+
+TEST(ServeConfig, RejectsNonNumericValue) {
+  ServeConfigError error;
+  EXPECT_FALSE(parse("tuning_interval_s soon\n", &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_NE(error.message.find("tuning_interval_s"), std::string::npos);
+}
+
+TEST(ServeConfig, RejectsBadHeartbeatSwitch) {
+  ServeConfigError error;
+  EXPECT_FALSE(parse("heartbeats maybe\n", &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+}
+
+TEST(ServeConfig, RejectsNonPositiveIntervals) {
+  EXPECT_FALSE(parse("tuning_interval_s 0\n").has_value());
+  EXPECT_FALSE(parse("report_grace_s -1\n").has_value());
+  EXPECT_FALSE(parse("heartbeat_interval_s 0\n").has_value());
+  EXPECT_FALSE(parse("run_seconds -5\n").has_value());
+  EXPECT_TRUE(parse("run_seconds 0\n").has_value());  // 0 = run until killed
+}
+
+TEST(ServeConfig, RejectsMoreSlowFactorsThanServers) {
+  ServeConfigError error;
+  EXPECT_FALSE(parse("servers 2\nslow_factors 1 1 1\n", &error).has_value());
+  EXPECT_NE(error.message.find("slow_factors"), std::string::npos);
+}
+
+TEST(ServeConfig, EmptyInputYieldsDefaults) {
+  const auto parsed = parse("");
+  ASSERT_TRUE(parsed.has_value());
+  ServeSpec expected;
+  expected.slow_factors.resize(expected.servers, 1.0);
+  expect_equal(*parsed, expected);
+}
+
+}  // namespace
+}  // namespace anu::runtime
